@@ -1,0 +1,99 @@
+package episim_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	episim "repro"
+	"repro/internal/disease"
+	"repro/internal/interventions"
+)
+
+// TestShippedDiseaseModelsParse validates every model file in models/.
+func TestShippedDiseaseModelsParse(t *testing.T) {
+	files, err := filepath.Glob("models/*.dm")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("expected >=3 disease model files, got %v (%v)", files, err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := disease.ParseString(string(b))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		// Round trip through the formatter.
+		if _, err := disease.ParseString(m.Format()); err != nil {
+			t.Fatalf("%s: format round trip: %v", f, err)
+		}
+	}
+}
+
+// TestShippedScenariosParse validates every scenario file in scenarios/.
+func TestShippedScenariosParse(t *testing.T) {
+	files, err := filepath.Glob("scenarios/*.txt")
+	if err != nil || len(files) < 2 {
+		t.Fatalf("expected >=2 scenario files, got %v (%v)", files, err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := interventions.Parse(string(b)); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+}
+
+// TestShippedModelsProduceEpidemics runs each shipped disease model
+// end-to-end on a small population: every model must produce spread
+// beyond its index cases, and smallpox must be slower than influenza
+// (longer incubation).
+func TestShippedModelsProduceEpidemics(t *testing.T) {
+	pop := episim.Generate("assets", 4000, 900, 9)
+	pl, err := episim.BuildPlacement(pop, episim.PlacementOptions{Strategy: episim.RR, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakDay := map[string]int{}
+	for _, f := range []string{"models/influenza.dm", "models/smallpox.dm", "models/h1n1-2009.dm"} {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := disease.ParseString(string(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equalize transmissibility pressure so the comparison is about
+		// timing structure, not calibration.
+		m.Transmissibility = 2e-4
+		res, err := episim.Run(pl, episim.SimConfig{
+			Days: 120, Seed: 9, InitialInfections: 8, Model: m})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if res.TotalInfections < 50 {
+			t.Fatalf("%s: no epidemic (%d infections)", f, res.TotalInfections)
+		}
+		day, best := 0, int64(0)
+		for _, d := range res.Days {
+			if d.NewInfections > best {
+				best, day = d.NewInfections, d.Day
+			}
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".dm")
+		peakDay[name] = day
+	}
+	if peakDay["smallpox"] <= peakDay["influenza"] {
+		t.Fatalf("smallpox (incubation 7-17d) should peak later than influenza: %v", peakDay)
+	}
+}

@@ -1,0 +1,158 @@
+// Command episim runs one epidemic simulation from the command line.
+//
+// Usage:
+//
+//	episim -state IA -scale 1000 -days 120 -ranks 64 -strategy GP -splitloc
+//	episim -state WY -scale 200 -scenario scenario.txt -out curve.csv
+//
+// It prints per-day epidemic and messaging statistics, and optionally the
+// modeled Blue Waters time per day.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	episim "repro"
+	"repro/internal/disease"
+)
+
+func main() {
+	var (
+		state     = flag.String("state", "IA", "Table I preset (US, CA, NY, MI, NC, IA, AR, WY, or any contiguous state)")
+		scale     = flag.Int("scale", 1000, "population scale divisor")
+		days      = flag.Int("days", 120, "days to simulate")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		seeds     = flag.Int("infections", 10, "initial index cases")
+		ranks     = flag.Int("ranks", 16, "logical PEs (core-modules)")
+		strategy  = flag.String("strategy", "GP", "data distribution: RR or GP")
+		splitLoc  = flag.Bool("splitloc", false, "apply heavy-location splitting first")
+		parallel  = flag.Bool("parallel", false, "run one goroutine per rank")
+		agg       = flag.Int("agg", 64, "message aggregation buffer (0 = off)")
+		route2d   = flag.Bool("route2d", false, "TRAM-style 2D topological routing of aggregated messages")
+		mixing    = flag.Float64("mixing", 0, "inter-sublocation mixing factor (0 = rooms are isolated)")
+		diseaseF  = flag.String("disease", "", "disease model file (default: built-in ILI model)")
+		scenarioF = flag.String("scenario", "", "intervention DSL file")
+		model     = flag.Bool("model-time", false, "also print modeled Blue Waters time per day")
+		curveOut  = flag.String("out", "", "write day,newinfections CSV to this file")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "episim:", err)
+		os.Exit(1)
+	}
+
+	pop, err := episim.GenerateState(*state, *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("population %s 1:%d — %d persons, %d locations, %d daily visits\n",
+		*state, *scale, pop.NumPersons(), pop.NumLocations(), pop.NumVisits())
+
+	var strat episim.Strategy
+	switch strings.ToUpper(*strategy) {
+	case "RR":
+		strat = episim.RR
+	case "GP":
+		strat = episim.GP
+	default:
+		fail(fmt.Errorf("unknown strategy %q (want RR or GP)", *strategy))
+	}
+	pl, err := episim.BuildPlacement(pop, episim.PlacementOptions{
+		Strategy: strat, SplitLoc: *splitLoc, Ranks: *ranks, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("placement %s over %d ranks", pl.Label, pl.Ranks)
+	if pl.SplitStats != nil {
+		fmt.Printf(" (split %d heavy locations into %d)",
+			pl.SplitStats.NumSplit, pl.SplitStats.NumFragments)
+	}
+	if pl.Quality != nil {
+		fmt.Printf(" edge-cut=%d maxload/avg=%.2f/%.2f",
+			pl.Quality.EdgeCut, pl.Quality.MaxOverAvg[0], pl.Quality.MaxOverAvg[1])
+	}
+	fmt.Println()
+
+	cfg := episim.SimConfig{
+		Days: *days, Seed: *seed, InitialInfections: *seeds,
+		Parallel: *parallel, AggBufferSize: *agg,
+		Route2D: *route2d, Mixing: *mixing,
+	}
+	if *diseaseF != "" {
+		f, err := os.Open(*diseaseF)
+		if err != nil {
+			fail(err)
+		}
+		m, err := disease.Parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		cfg.Model = m
+	}
+	if *scenarioF != "" {
+		b, err := os.ReadFile(*scenarioF)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Scenario = string(b)
+	}
+
+	start := time.Now()
+	res, err := episim.Run(pl, cfg)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	peakDay, peak := 0, int64(0)
+	for _, d := range res.Days {
+		if d.NewInfections > peak {
+			peak, peakDay = d.NewInfections, d.Day
+		}
+	}
+	fmt.Printf("simulated %d days in %v (%.1f ms/day wall clock)\n",
+		len(res.Days), elapsed.Round(time.Millisecond),
+		float64(elapsed.Milliseconds())/float64(len(res.Days)))
+	fmt.Printf("total infections %d (attack rate %.1f%%), peak %d new infections on day %d\n",
+		res.TotalInfections, res.AttackRate*100, peak, peakDay)
+	var msgs, wire int64
+	for _, d := range res.Days {
+		msgs += d.PersonPhase.Messages + d.LocationPhase.Messages
+		wire += d.PersonPhase.WireMessages + d.LocationPhase.WireMessages
+	}
+	fmt.Printf("messages: %d chare-level, %d wire (aggregation factor %.1f)\n",
+		msgs, wire, float64(msgs)/float64(max64(wire, 1)))
+
+	if *model {
+		cost := episim.ModelDayTime(pl, episim.DefaultPerfOptions())
+		fmt.Printf("modeled Blue Waters time/day at %d ranks: %.4f s (person %.4f, location %.4f)\n",
+			pl.Ranks, cost.Total, cost.Person.Total, cost.Location.Total)
+	}
+	if *curveOut != "" {
+		f, err := os.Create(*curveOut)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(f, "day,newinfections")
+		for _, d := range res.Days {
+			fmt.Fprintf(f, "%d,%d\n", d.Day, d.NewInfections)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("epidemic curve written to %s\n", *curveOut)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+// Command partition distributes a population graph over ranks and reports
+// the quality metrics of Section III-B: per-phase load balance, edge cut,
+// maximum per-partition cut, and the S_ub speedup bound.
+//
+// Usage:
+//
+//	partition -state IA -scale 1000 -ranks 256 -strategy GP -splitloc
+//	partition -in ca.pop.gz -ranks 1024 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	episim "repro"
+	"repro/internal/synthpop"
+)
+
+func main() {
+	var (
+		state    = flag.String("state", "IA", "preset to generate")
+		scale    = flag.Int("scale", 1000, "scale divisor")
+		in       = flag.String("in", "", "load population from file instead")
+		ranks    = flag.Int("ranks", 64, "number of partitions")
+		strategy = flag.String("strategy", "GP", "RR or GP")
+		splitLoc = flag.Bool("splitloc", false, "apply splitLoc first")
+		seed     = flag.Uint64("seed", 1, "seed")
+		compare  = flag.Bool("compare", false, "report all four strategies")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+
+	var pop *synthpop.Population
+	var err error
+	if *in != "" {
+		pop, err = synthpop.Load(*in)
+	} else {
+		pop, err = synthpop.GenerateState(*state, *scale, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("population %q: %d persons, %d locations, %d visits; %d ranks\n",
+		pop.Name, pop.NumPersons(), pop.NumLocations(), pop.NumVisits(), *ranks)
+
+	var opts []episim.PlacementOptions
+	if *compare {
+		opts = []episim.PlacementOptions{
+			{Strategy: episim.RR},
+			{Strategy: episim.GP},
+			{Strategy: episim.RR, SplitLoc: true},
+			{Strategy: episim.GP, SplitLoc: true},
+		}
+	} else {
+		var strat episim.Strategy
+		switch strings.ToUpper(*strategy) {
+		case "RR":
+			strat = episim.RR
+		case "GP":
+			strat = episim.GP
+		default:
+			fail(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		opts = []episim.PlacementOptions{{Strategy: strat, SplitLoc: *splitLoc}}
+	}
+
+	fmt.Printf("%-14s %12s %12s %10s %10s %12s %12s\n",
+		"strategy", "edge cut", "max cut", "bal(pers)", "bal(loc)", "Sub(pers)", "Sub(loc)")
+	for _, o := range opts {
+		o.Ranks = *ranks
+		o.Seed = *seed
+		o.EvaluateQuality = true
+		pl, err := episim.BuildPlacement(pop, o)
+		if err != nil {
+			fail(err)
+		}
+		q := pl.Quality
+		fmt.Printf("%-14s %12d %12d %10.2f %10.2f %12.0f %12.0f\n",
+			pl.Label, q.EdgeCut, q.MaxPartCut, q.MaxOverAvg[0], q.MaxOverAvg[1],
+			q.SpeedupUpperBound(0), q.SpeedupUpperBound(1))
+	}
+}

@@ -1,0 +1,95 @@
+// Command popgen generates and inspects synthetic populations.
+//
+// Usage:
+//
+//	popgen -state CA -scale 1000 -out ca.pop.gz
+//	popgen -in ca.pop.gz -stats
+//	popgen -people 50000 -locations 12000 -out custom.pop.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/splitloc"
+	"repro/internal/stats"
+	"repro/internal/synthpop"
+)
+
+func main() {
+	var (
+		state     = flag.String("state", "", "Table I / state preset to generate")
+		scale     = flag.Int("scale", 1000, "scale divisor for presets")
+		people    = flag.Int("people", 0, "custom population size (with -locations)")
+		locations = flag.Int("locations", 0, "custom location count")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		out       = flag.String("out", "", "write population to this file (gob.gz)")
+		in        = flag.String("in", "", "load population from this file instead of generating")
+		showStats = flag.Bool("stats", true, "print distribution statistics")
+		split     = flag.Bool("splitloc", false, "also report the splitLoc transform")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "popgen:", err)
+		os.Exit(1)
+	}
+
+	var pop *synthpop.Population
+	var err error
+	switch {
+	case *in != "":
+		pop, err = synthpop.Load(*in)
+	case *state != "":
+		pop, err = synthpop.GenerateState(*state, *scale, *seed)
+	case *people > 0 && *locations > 0:
+		pop = synthpop.Generate(synthpop.DefaultConfig("custom", *people, *locations, *seed))
+	default:
+		err = fmt.Errorf("need -state, -in, or -people/-locations")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := pop.Validate(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("population %q: %d persons, %d locations, %d daily visits\n",
+		pop.Name, pop.NumPersons(), pop.NumLocations(), pop.NumVisits())
+
+	if *showStats {
+		perPerson := make([]int, pop.NumPersons())
+		for p := 0; p < pop.NumPersons(); p++ {
+			perPerson[p] = len(pop.PersonVisits(int32(p)))
+		}
+		ps := stats.SummarizeInts(perPerson)
+		fmt.Printf("visits/person: mean %.2f sigma %.2f max %.0f (paper: 5.5, sigma 2.6)\n",
+			ps.Mean, ps.Std, ps.Max)
+		counts := pop.VisitCountsPerLocation()
+		fs := make([]float64, len(counts))
+		for i, c := range counts {
+			fs[i] = float64(c)
+		}
+		ls := stats.Summarize(fs)
+		alpha := stats.PowerLawAlpha(fs, ls.Mean*4)
+		fmt.Printf("visits/location: mean %.2f max %.0f (%.0fx mean), tail alpha %.2f\n",
+			ls.Mean, ls.Max, ls.Max/ls.Mean, alpha)
+	}
+
+	if *split {
+		s, st, err := splitloc.SplitPopulation(pop, splitloc.Options{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("splitLoc: threshold %.1f, split %d locations into %d (growth %.2f%%), d_max %d -> %d\n",
+			st.Threshold, st.NumSplit, st.NumFragments, st.GrowthFrac*100,
+			st.MaxDegreePre, st.MaxDegreePost)
+		_ = s
+	}
+
+	if *out != "" {
+		if err := pop.Save(*out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+}

@@ -1,0 +1,85 @@
+// Dynamic load balancing demo (the paper's Section VII future work):
+// an intervention (school closures) abruptly shifts the location workload
+// mid-epidemic; measurement-based rebalancing with application-specific
+// load prediction restores balance — without perturbing the epidemic,
+// thanks to partition invariance.
+//
+//	go run ./examples/loadbalancing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/disease"
+	"repro/internal/interventions"
+	"repro/internal/loadbalance"
+	"repro/internal/loadmodel"
+	"repro/internal/synthpop"
+)
+
+func main() {
+	pop, err := synthpop.GenerateState("WY", 100, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranks := 16
+	model := disease.Default()
+	model.Transmissibility = 8e-5
+
+	scenario, err := interventions.Parse(`
+when day == 15 {
+    close school for 60
+    reduce work visits by 0.4 for 60
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := core.New(core.Config{
+		Population: pop, Disease: model, Scenario: scenario,
+		Days: 1, Seed: 5, InitialInfections: 10, Ranks: ranks,
+		CollectLocationLoads: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	predictor := &loadbalance.Predictor{
+		Dynamic: loadmodel.Dynamic{C1: 1, C2: 0.05}, // events + interactions
+	}
+	fmt.Printf("WY 1:100 on %d ranks; schools close on day 15\n\n", ranks)
+	fmt.Printf("%4s %10s %12s %12s %s\n", "day", "infected", "imbalance", "migrations", "")
+
+	days := 40
+	totalMigrations := 0
+	for day := 1; day <= days; day++ {
+		rep := eng.RunDay(day)
+		events, inter := eng.LocationLoads()
+		infectious := int(rep.Counts["infectious"] + rep.Counts["symptomatic"] + rep.Counts["asymptomatic"])
+		loads := predictor.Predict(events, inter, infectious)
+
+		d, err := loadbalance.GreedyRefine(eng.LocationRanks(), loads, ranks, 1.10, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		// Menon-style trigger: only migrate when the gain justifies it.
+		if loadbalance.ShouldRebalance(d.ImbalanceBefore, 1.15,
+			d.ImbalanceBefore-d.ImbalanceAfter, 2.0, days-day) {
+			migrated, err := eng.MigrateLocations(d.Assign)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalMigrations += migrated
+			note = fmt.Sprintf("rebalanced: %.2f -> %.2f", d.ImbalanceBefore, d.ImbalanceAfter)
+		}
+		if day%5 == 0 || note != "" {
+			fmt.Printf("%4d %10d %12.2f %12d %s\n",
+				day, rep.NewInfections, d.ImbalanceBefore, totalMigrations, note)
+		}
+	}
+	fmt.Printf("\n%d locations migrated in total; the epidemic curve is identical to the\n", totalMigrations)
+	fmt.Println("non-rebalanced run (keyed randomness makes migration invisible to outcomes).")
+}

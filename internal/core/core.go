@@ -1,0 +1,451 @@
+// Package core is the EpiSimdemics engine: the agent-based contagion
+// simulation of Section II, executed on the charm runtime. Each simulated
+// day runs the paper's algorithm:
+//
+//  1. PersonManager chares update their persons and send visit messages to
+//     LocationManager chares (aggregated, Section IV-C);
+//  2. completion detection synchronization;
+//  3. LocationManagers replay visits as a sequential DES per location,
+//     computing transmissions and sending infect messages back;
+//  4. completion detection synchronization;
+//  5. PersonManagers apply infections and health-state progressions;
+//  6. global state (counts per health state) is reduced.
+//
+// All stochastic draws are keyed by content (person ids, days, original
+// location ids), so the epidemic trajectory is bit-identical across any
+// data distribution (RR, GP, with or without splitLoc), any rank count,
+// and sequential vs parallel execution — the repository's main
+// correctness oracle.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/des"
+	"repro/internal/disease"
+	"repro/internal/interventions"
+	"repro/internal/synthpop"
+	"repro/internal/xrand"
+)
+
+// Config configures a simulation.
+type Config struct {
+	Population *synthpop.Population
+	Disease    *disease.Model
+	// Scenario optionally applies interventions (may be nil).
+	Scenario *interventions.Scenario
+	Days     int
+	Seed     uint64
+	// InitialInfections seeds approximately this many index cases on day 0.
+	InitialInfections int
+
+	// Ranks is the number of logical PEs (core-modules).
+	Ranks int
+	// Parallel selects goroutine-per-PE execution instead of the
+	// deterministic sequential scheduler.
+	Parallel bool
+	// Topology is the SMP geometry (zero value = one process/node).
+	Topology charm.Topology
+	// AggBufferSize enables message aggregation when > 0.
+	AggBufferSize int
+	// Route2D enables TRAM-style topological routing of aggregated
+	// messages (charm.Config.Route2D).
+	Route2D  bool
+	SyncMode charm.SyncMode
+	// ChareFactor over-decomposes: managers per rank per array. Default 1.
+	ChareFactor int
+	// PersonRank and LocationRank assign each person/location to a rank;
+	// nil means round-robin (the paper's RR baseline).
+	PersonRank   []int32
+	LocationRank []int32
+	// Mixing enables the inter-sublocation mixing model (the paper's
+	// future work, Section III-C): people in different sublocations of the
+	// same location interact with transmission scaled by this factor.
+	// When the population was split, infectious visitors are replicated to
+	// every fragment of their location ("dividing the susceptibles while
+	// replicating the infectious", Figure 6(b)) so that outcomes stay
+	// identical to the unsplit population.
+	Mixing float64
+	// CollectLocationLoads records per-location daily workload counters
+	// (events and interactions), the measurement input of dynamic load
+	// balancing (Section VII future work). Costs two int64 slices.
+	CollectLocationLoads bool
+}
+
+// DayReport describes one simulated day.
+type DayReport struct {
+	Day           int
+	Counts        map[string]int64
+	NewInfections int64
+	// Phase statistics from the runtime (person, location, update).
+	PersonPhase   charm.PhaseStats
+	LocationPhase charm.PhaseStats
+	UpdatePhase   charm.PhaseStats
+	// DES workload counters summed over locations (dynamic load inputs).
+	Events       int64
+	Interactions int64
+	Trials       int64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Days            []DayReport
+	TotalInfections int64
+	AttackRate      float64
+	FinalCounts     map[string]int64
+}
+
+// EpiCurve returns the daily new-infection series.
+func (r *Result) EpiCurve() []int64 {
+	out := make([]int64, len(r.Days))
+	for i, d := range r.Days {
+		out[i] = d.NewInfections
+	}
+	return out
+}
+
+// personState is the PTTS bookkeeping for one person. Owned exclusively by
+// the person's PersonManager.
+type personState struct {
+	State     disease.StateID
+	Treatment disease.TreatmentID
+	DaysLeft  int32 // full days remaining in State; <0 means absorbing
+	Infected  bool  // ever infected (attack-rate numerator)
+}
+
+// Engine executes a configured simulation.
+type Engine struct {
+	cfg    Config
+	pop    *synthpop.Population
+	model  *disease.Model
+	rt     *charm.Runtime
+	pmArr  int32
+	lmArr  int32
+	health []personState
+	// pmOf / lmOf map persons / locations to their managing chares.
+	pmOf []int32
+	lmOf []int32
+	// fragments maps an original location id to all fragment location ids
+	// of its family (only entries with >1 fragment; used for infectious
+	// replication in mixing mode).
+	fragments map[int32][]int32
+	// infectionBuf[pm] accumulates infect messages received by PM chares.
+	infectionBuf [][]infectMsg
+	effects      *interventions.Effects
+	// stateNames caches disease state names for reductions.
+	stateNames []string
+	cumulative int64
+	// Per-location measured workload of the current day (only when
+	// cfg.CollectLocationLoads). Each location is written by exactly one
+	// LM, and LMs on a PE run serially, so no synchronization is needed.
+	locEvents       []int64
+	locInteractions []int64
+}
+
+// visitMsg is one visit message (paper Section II-B step 1): person,
+// location, times, plus the sender's effective disease parameters.
+type visitMsg struct {
+	Person     int32
+	Loc        int32
+	Sub        int32
+	OrigSub    int32 // pre-splitLoc sublocation id (mixing mode keys)
+	Start, End int16
+	Inf, Sus   float32
+}
+
+// WireSize matches a compact binary encoding of the fields.
+func (visitMsg) WireSize() int { return 32 }
+
+// infectMsg is one infect message (step 3).
+type infectMsg struct {
+	Person   int32
+	Infector int32
+	Minute   int16
+}
+
+// WireSize matches a compact binary encoding of the fields.
+func (infectMsg) WireSize() int { return 16 }
+
+// control messages broadcast by the driver.
+type msgComputeVisits struct{ Day int }
+type msgRunDES struct{ Day int }
+type msgApplyUpdates struct{ Day int }
+
+// New validates the configuration and builds the engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Population == nil {
+		return nil, fmt.Errorf("core: nil population")
+	}
+	if cfg.Disease == nil {
+		cfg.Disease = disease.Default()
+	}
+	if err := cfg.Disease.Validate(); err != nil {
+		return nil, fmt.Errorf("core: disease model: %w", err)
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 120
+	}
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.ChareFactor <= 0 {
+		cfg.ChareFactor = 1
+	}
+	if cfg.InitialInfections <= 0 {
+		cfg.InitialInfections = max(1, cfg.Population.NumPersons()/2000)
+	}
+	nP := cfg.Population.NumPersons()
+	nL := cfg.Population.NumLocations()
+	if cfg.PersonRank != nil && len(cfg.PersonRank) != nP {
+		return nil, fmt.Errorf("core: PersonRank length %d, want %d", len(cfg.PersonRank), nP)
+	}
+	if cfg.LocationRank != nil && len(cfg.LocationRank) != nL {
+		return nil, fmt.Errorf("core: LocationRank length %d, want %d", len(cfg.LocationRank), nL)
+	}
+	for _, r := range cfg.PersonRank {
+		if r < 0 || int(r) >= cfg.Ranks {
+			return nil, fmt.Errorf("core: person rank %d outside [0,%d)", r, cfg.Ranks)
+		}
+	}
+	for _, r := range cfg.LocationRank {
+		if r < 0 || int(r) >= cfg.Ranks {
+			return nil, fmt.Errorf("core: location rank %d outside [0,%d)", r, cfg.Ranks)
+		}
+	}
+
+	e := &Engine{cfg: cfg, pop: cfg.Population, model: cfg.Disease}
+	e.rt = charm.New(charm.Config{
+		PEs:           cfg.Ranks,
+		Parallel:      cfg.Parallel,
+		Topology:      cfg.Topology,
+		AggBufferSize: cfg.AggBufferSize,
+		Route2D:       cfg.Route2D,
+		SyncMode:      cfg.SyncMode,
+	})
+	e.effects = interventions.NewEffects()
+	e.stateNames = make([]string, e.model.NumStates())
+	for i := range e.stateNames {
+		e.stateNames[i] = e.model.StateName(disease.StateID(i))
+	}
+
+	// Health state initialization + index cases.
+	e.health = make([]personState, nP)
+	entry := e.model.Entry
+	for p := range e.health {
+		e.health[p] = personState{State: entry, DaysLeft: -1}
+	}
+	seeded := 0
+	for p := 0; p < nP && cfg.InitialInfections > 0; p++ {
+		if xrand.KeyedIntn(nP, cfg.Seed, 0x5eed, uint64(p)) < cfg.InitialInfections {
+			e.infectPerson(int32(p), 0)
+			seeded++
+		}
+	}
+	if seeded == 0 { // guarantee at least one index case
+		e.infectPerson(0, 0)
+	}
+
+	// Build the two-level chare hierarchy (Figure 1): PMs and LMs.
+	numPM := cfg.Ranks * cfg.ChareFactor
+	numLM := cfg.Ranks * cfg.ChareFactor
+	rankOfPerson := func(p int32) int32 {
+		if cfg.PersonRank != nil {
+			return cfg.PersonRank[p]
+		}
+		return p % int32(cfg.Ranks)
+	}
+	rankOfLocation := func(l int32) int32 {
+		if cfg.LocationRank != nil {
+			return cfg.LocationRank[l]
+		}
+		return l % int32(cfg.Ranks)
+	}
+	// Manager of an object: its rank's managers, spread by object id.
+	pmOf := make([]int32, nP)
+	personsOfPM := make([][]int32, numPM)
+	for p := int32(0); p < int32(nP); p++ {
+		pm := rankOfPerson(p)*int32(cfg.ChareFactor) + (p/int32(cfg.Ranks))%int32(cfg.ChareFactor)
+		pmOf[p] = pm
+		personsOfPM[pm] = append(personsOfPM[pm], p)
+	}
+	lmOf := make([]int32, nL)
+	locsOfLM := make([][]int32, numLM)
+	for l := int32(0); l < int32(nL); l++ {
+		lm := rankOfLocation(l)*int32(cfg.ChareFactor) + (l/int32(cfg.Ranks))%int32(cfg.ChareFactor)
+		lmOf[l] = lm
+		locsOfLM[lm] = append(locsOfLM[lm], l)
+	}
+	e.pmOf = pmOf
+	e.lmOf = lmOf
+	e.infectionBuf = make([][]infectMsg, numPM)
+
+	// Fragment families for infectious replication in mixing mode.
+	if cfg.Mixing > 0 {
+		families := make(map[int32][]int32)
+		for l := int32(0); l < int32(nL); l++ {
+			origin := cfg.Population.Locations[l].Origin
+			families[origin] = append(families[origin], l)
+		}
+		e.fragments = make(map[int32][]int32)
+		for origin, ids := range families {
+			if len(ids) > 1 {
+				e.fragments[origin] = ids
+			}
+		}
+	}
+
+	if cfg.CollectLocationLoads {
+		e.locEvents = make([]int64, nL)
+		e.locInteractions = make([]int64, nL)
+	}
+
+	e.pmArr = e.rt.NewArray(numPM, func(i int32) charm.Chare {
+		return &personManager{eng: e, id: i, persons: personsOfPM[i]}
+	}, func(i int32) charm.PE { return i / int32(cfg.ChareFactor) })
+	e.lmArr = e.rt.NewArray(numLM, func(i int32) charm.Chare {
+		return &locationManager{eng: e, id: i, locs: locsOfLM[i],
+			pending: make(map[int32][]des.Visitor)}
+	}, func(i int32) charm.PE { return i / int32(cfg.ChareFactor) })
+	return e, nil
+}
+
+// LocationLoads returns the previous day's per-location measured workload
+// (events, interactions). Only valid with Config.CollectLocationLoads; the
+// slices are reused across days — copy to retain.
+func (e *Engine) LocationLoads() (events, interactions []int64) {
+	return e.locEvents, e.locInteractions
+}
+
+// LocationRanks returns the current location→rank assignment (a copy).
+func (e *Engine) LocationRanks() []int32 {
+	out := make([]int32, e.pop.NumLocations())
+	for l := range out {
+		out[l] = e.rt.PlacementOf(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[l]})
+	}
+	return out
+}
+
+// MigrateLocations re-assigns locations to ranks between days: the
+// migration step of measurement-based dynamic load balancing (Section VII
+// future work). LMs hold no cross-day state, so migration is a pure
+// remapping; by partition invariance it cannot change the epidemic, only
+// the load distribution. It returns the number of migrated locations.
+func (e *Engine) MigrateLocations(newRank []int32) (int, error) {
+	nL := e.pop.NumLocations()
+	if len(newRank) != nL {
+		return 0, fmt.Errorf("core: MigrateLocations got %d ranks, want %d", len(newRank), nL)
+	}
+	for _, r := range newRank {
+		if r < 0 || int(r) >= e.cfg.Ranks {
+			return 0, fmt.Errorf("core: migration rank %d outside [0,%d)", r, e.cfg.Ranks)
+		}
+	}
+	// Rebuild manager membership exactly as New does.
+	numLM := e.cfg.Ranks * e.cfg.ChareFactor
+	locsOfLM := make([][]int32, numLM)
+	migrated := 0
+	for l := int32(0); l < int32(nL); l++ {
+		lm := newRank[l]*int32(e.cfg.ChareFactor) + (l/int32(e.cfg.Ranks))%int32(e.cfg.ChareFactor)
+		if lm != e.lmOf[l] {
+			migrated++
+		}
+		e.lmOf[l] = lm
+		locsOfLM[lm] = append(locsOfLM[lm], l)
+	}
+	for i := 0; i < numLM; i++ {
+		lm := e.rt.Chare(charm.ChareRef{Array: e.lmArr, Index: int32(i)}).(*locationManager)
+		lm.locs = locsOfLM[i]
+	}
+	return migrated, nil
+}
+
+func (e *Engine) infectPerson(p int32, day int) {
+	e.health[p].State = e.model.InfectTarget
+	e.health[p].DaysLeft = int32(e.model.SampleDwell(e.model.InfectTarget, uint64(p), uint64(day)))
+	e.health[p].Infected = true
+	e.cumulative++
+}
+
+// RunDay executes a single simulated day (day numbers start at 1) and
+// returns its report. It powers step-wise drivers such as dynamic load
+// balancing loops; most callers use Run.
+func (e *Engine) RunDay(day int) DayReport { return e.runDay(day) }
+
+// Run executes the configured number of days.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{}
+	for day := 1; day <= e.cfg.Days; day++ {
+		rep := e.runDay(day)
+		res.Days = append(res.Days, rep)
+	}
+	res.TotalInfections = e.cumulative
+	if n := e.pop.NumPersons(); n > 0 {
+		res.AttackRate = float64(e.cumulative) / float64(n)
+	}
+	if len(res.Days) > 0 {
+		res.FinalCounts = res.Days[len(res.Days)-1].Counts
+	}
+	return res, nil
+}
+
+func (e *Engine) runDay(day int) DayReport {
+	rep := DayReport{Day: day}
+
+	// Interventions trigger on the state of the world this morning.
+	if e.cfg.Scenario != nil {
+		counts := e.countStates()
+		env := interventions.Env{
+			Day:                day,
+			Population:         e.pop.NumPersons(),
+			Counts:             counts,
+			CumulativeInfected: int(e.cumulative),
+		}
+		e.cfg.Scenario.Step(env, e.effects)
+	}
+
+	// Phase 1: person phase.
+	e.rt.Broadcast(e.pmArr, msgComputeVisits{Day: day})
+	rep.PersonPhase = e.rt.Drain()
+
+	// Phase 2: location phase.
+	if e.locEvents != nil {
+		for i := range e.locEvents {
+			e.locEvents[i] = 0
+			e.locInteractions[i] = 0
+		}
+	}
+	e.rt.Broadcast(e.lmArr, msgRunDES{Day: day})
+	rep.LocationPhase = e.rt.Drain()
+	rep.Events = rep.LocationPhase.Reductions["events"]
+	rep.Interactions = rep.LocationPhase.Reductions["interactions"]
+	rep.Trials = rep.LocationPhase.Reductions["trials"]
+
+	// Phase 3: apply updates + global reduction.
+	e.rt.Broadcast(e.pmArr, msgApplyUpdates{Day: day})
+	rep.UpdatePhase = e.rt.Drain()
+	rep.NewInfections = rep.UpdatePhase.Reductions["newinfections"]
+	e.cumulative += rep.NewInfections
+	rep.Counts = make(map[string]int64, len(e.stateNames))
+	for _, name := range e.stateNames {
+		rep.Counts[name] = rep.UpdatePhase.Reductions["state:"+name]
+	}
+
+	e.effects.Tick()
+	return rep
+}
+
+func (e *Engine) countStates() map[string]int {
+	counts := make(map[string]int, len(e.stateNames))
+	for p := range e.health {
+		counts[e.stateNames[e.health[p].State]]++
+	}
+	return counts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/charm"
+	"repro/internal/des"
+	"repro/internal/synthpop"
+	"repro/internal/xrand"
+)
+
+// personManager is a PM chare (Figure 1): it manages a set of person
+// objects — their PTTS state, daily schedule decisions and visit messages.
+type personManager struct {
+	eng     *Engine
+	id      int32
+	persons []int32
+}
+
+func (pm *personManager) Recv(ctx *charm.Ctx, msg charm.Message) {
+	switch m := msg.(type) {
+	case msgComputeVisits:
+		pm.computeVisits(ctx, m.Day)
+	case infectMsg:
+		pm.eng.infectionBuf[pm.id] = append(pm.eng.infectionBuf[pm.id], m)
+	case msgApplyUpdates:
+		pm.applyUpdates(ctx, m.Day)
+	default:
+		panic("core: personManager received unknown message")
+	}
+}
+
+// computeVisits is phase 1 for this PM's persons: apply vaccination
+// orders, evaluate behavioral filters (closures, isolation, demand
+// reduction), and send one visit message per kept visit.
+func (pm *personManager) computeVisits(ctx *charm.Ctx, day int) {
+	e := pm.eng
+	eff := e.effects
+	vaccinate := eff.VaccinateNow
+	vacID, hasVac := e.model.TreatmentByName("vaccinated")
+
+	for _, p := range pm.persons {
+		hs := &e.health[p]
+		// Vaccination campaign: untreated persons get the treatment with
+		// probability VaccinateNow, keyed for partition invariance.
+		if vaccinate > 0 && hasVac && hs.Treatment == 0 {
+			if xrand.KeyedFloat64(0xacc1, e.cfg.Seed, uint64(p), uint64(day)) < vaccinate {
+				hs.Treatment = vacID
+			}
+		}
+		stateName := e.stateNames[hs.State]
+		isolated := eff.Isolated(stateName)
+		inf := e.model.Infectivity(hs.State, hs.Treatment)
+		sus := e.model.Susceptibility(hs.State, hs.Treatment)
+
+		for _, v := range e.pop.PersonVisits(p) {
+			loc := &e.pop.Locations[v.Loc]
+			typeName := loc.Type.String()
+			if loc.Type != synthpop.Home {
+				if isolated {
+					continue
+				}
+				if eff.Closed(typeName) {
+					continue
+				}
+				if r := eff.Reduction(typeName); r > 0 {
+					if xrand.KeyedFloat64(0x4edc, e.cfg.Seed, uint64(p), uint64(v.Loc), uint64(day)) < r {
+						continue
+					}
+				}
+			}
+			msg := visitMsg{
+				Person:  p,
+				Loc:     v.Loc,
+				Sub:     v.Sub,
+				OrigSub: loc.SubBase + v.Sub,
+				Start:   v.Start,
+				End:     v.End,
+				Inf:     float32(inf),
+				Sus:     float32(sus),
+			}
+			ctx.Send(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[v.Loc]}, msg)
+			// Mixing mode on a split location: replicate the infectious
+			// visitor into the sibling fragments so cross-sublocation
+			// pairs are still evaluated (Figure 6(b): "divide the
+			// susceptibles while replicating the infectious").
+			if e.cfg.Mixing > 0 && inf > 0 {
+				for _, frag := range e.fragments[loc.Origin] {
+					if frag == v.Loc {
+						continue
+					}
+					rep := msg
+					rep.Loc = frag
+					rep.Sus = 0 // replicas infect; they are infected at home
+					ctx.Send(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[frag]}, rep)
+				}
+			}
+		}
+	}
+}
+
+// applyUpdates is phase 5/6: resolve buffered infect messages (earliest
+// exposure wins), advance dwell clocks and PTTS transitions, and
+// contribute the global health-state counts.
+func (pm *personManager) applyUpdates(ctx *charm.Ctx, day int) {
+	e := pm.eng
+	buf := e.infectionBuf[pm.id]
+	e.infectionBuf[pm.id] = nil
+	// Canonical resolution order: infections may arrive from many LMs in
+	// any order; sort so the outcome is order-independent.
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := buf[i], buf[j]
+		if a.Person != b.Person {
+			return a.Person < b.Person
+		}
+		if a.Minute != b.Minute {
+			return a.Minute < b.Minute
+		}
+		return a.Infector < b.Infector
+	})
+	var newInf int64
+	for i := 0; i < len(buf); {
+		p := buf[i].Person
+		j := i
+		for j < len(buf) && buf[j].Person == p {
+			j++
+		}
+		hs := &e.health[p]
+		if e.model.Susceptibility(hs.State, hs.Treatment) > 0 {
+			hs.State = e.model.InfectTarget
+			hs.DaysLeft = int32(e.model.SampleDwell(e.model.InfectTarget, uint64(p), uint64(day)))
+			hs.Infected = true
+			newInf++
+		}
+		i = j
+	}
+	if newInf > 0 {
+		ctx.Contribute("newinfections", newInf)
+	}
+
+	// Dwell/transition progression for everyone this PM owns.
+	for _, p := range pm.persons {
+		hs := &e.health[p]
+		if hs.DaysLeft > 0 {
+			hs.DaysLeft--
+		}
+		if hs.DaysLeft == 0 {
+			next, ok := e.model.NextState(hs.State, hs.Treatment, uint64(p), uint64(day))
+			if ok {
+				hs.State = next
+				d := e.model.SampleDwell(next, uint64(p), uint64(day))
+				if d > 1<<30 {
+					hs.DaysLeft = -1 // absorbing
+				} else {
+					hs.DaysLeft = int32(d)
+				}
+			} else {
+				hs.DaysLeft = -1
+			}
+		}
+		ctx.Contribute("state:"+e.stateNames[hs.State], 1)
+	}
+}
+
+// locationManager is an LM chare: it buffers inbound visit messages and
+// replays them as the per-location DES in phase 2.
+type locationManager struct {
+	eng     *Engine
+	id      int32
+	locs    []int32
+	pending map[int32][]des.Visitor
+}
+
+func (lm *locationManager) Recv(ctx *charm.Ctx, msg charm.Message) {
+	switch m := msg.(type) {
+	case visitMsg:
+		lm.pending[m.Loc] = append(lm.pending[m.Loc], des.Visitor{
+			Person:         m.Person,
+			Sub:            m.Sub,
+			OrigSub:        m.OrigSub,
+			Start:          m.Start,
+			End:            m.End,
+			Infectivity:    float64(m.Inf),
+			Susceptibility: float64(m.Sus),
+		})
+	case msgRunDES:
+		lm.runDES(ctx, m.Day)
+	default:
+		panic("core: locationManager received unknown message")
+	}
+}
+
+func (lm *locationManager) runDES(ctx *charm.Ctx, day int) {
+	e := lm.eng
+	var result des.Result
+	var events, interactions, trials int64
+	for _, locID := range lm.locs {
+		visitors := lm.pending[locID]
+		if len(visitors) == 0 {
+			continue
+		}
+		delete(lm.pending, locID)
+		loc := &e.pop.Locations[locID]
+		result.Reset()
+		des.Simulate(visitors, des.Params{
+			Day: uint64(day) ^ e.cfg.Seed,
+			// Keys use the pre-splitLoc identity so splitting cannot
+			// change outcomes.
+			LocKey:  uint64(loc.Origin),
+			SubBase: loc.SubBase,
+			Tau:     e.model.Transmissibility,
+			Mixing:  e.cfg.Mixing,
+		}, &result)
+		events += int64(result.Events)
+		interactions += result.Interactions
+		trials += result.Trials
+		if e.locEvents != nil {
+			e.locEvents[locID] += int64(result.Events)
+			e.locInteractions[locID] += result.Interactions
+		}
+		for _, inf := range result.Infections {
+			ctx.Send(charm.ChareRef{Array: e.pmArr, Index: e.pmOf[inf.Person]}, infectMsg{
+				Person:   inf.Person,
+				Infector: inf.Infector,
+				Minute:   inf.Minute,
+			})
+		}
+	}
+	// Clear any leftovers (visits to locations whose DES did not run are
+	// impossible, but a stray map entry would leak across days).
+	for k := range lm.pending {
+		delete(lm.pending, k)
+	}
+	if events > 0 {
+		ctx.Contribute("events", events)
+	}
+	if interactions > 0 {
+		ctx.Contribute("interactions", interactions)
+	}
+	if trials > 0 {
+		ctx.Contribute("trials", trials)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loadbalance"
+	"repro/internal/loadmodel"
+)
+
+// TestMigrationPreservesEpidemic: migrating locations between ranks
+// mid-simulation is invisible to the epidemic (partition invariance), the
+// property that makes dynamic load balancing safe.
+func TestMigrationPreservesEpidemic(t *testing.T) {
+	pop := testPop(t)
+	mk := func() Config {
+		return Config{Population: pop, Disease: hotModel(),
+			Days: 1, Seed: 47, InitialInfections: 5, Ranks: 6}
+	}
+	// Reference: run 20 days in one engine.
+	ref, err := New(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSig []int64
+	for day := 1; day <= 20; day++ {
+		rep := ref.runDay(day)
+		refSig = append(refSig, rep.NewInfections, rep.Counts["recovered"])
+	}
+
+	// Same run, but shuffle the location distribution every 5 days.
+	mig, err := New(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var migSig []int64
+	rotate := 0
+	for day := 1; day <= 20; day++ {
+		if day%5 == 0 {
+			rotate++
+			newRank := make([]int32, pop.NumLocations())
+			for l := range newRank {
+				newRank[l] = int32((l + rotate) % 6)
+			}
+			if _, err := mig.MigrateLocations(newRank); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep := mig.runDay(day)
+		migSig = append(migSig, rep.NewInfections, rep.Counts["recovered"])
+	}
+	if !sameSignature(refSig, migSig) {
+		t.Fatal("migration changed the epidemic")
+	}
+}
+
+// TestMeasurementBasedRebalancing exercises the full Section VII loop:
+// measure per-location loads, detect imbalance, migrate with the greedy
+// refiner, and verify the measured per-rank balance improves.
+func TestMeasurementBasedRebalancing(t *testing.T) {
+	pop := testPop(t)
+	ranks := 8
+	// Deliberately terrible initial distribution: all locations on rank 0,
+	// persons spread evenly (so visits still flow from all ranks).
+	locRank := make([]int32, pop.NumLocations())
+	cfg := Config{Population: pop, Disease: hotModel(),
+		Days: 1, Seed: 53, InitialInfections: 5, Ranks: ranks,
+		LocationRank: locRank, CollectLocationLoads: true}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.runDay(1)
+	events, inter := e.LocationLoads()
+	if sumI64(events) == 0 {
+		t.Fatal("no measured events")
+	}
+
+	// Predict tomorrow's loads and rebalance.
+	pred := &loadbalance.Predictor{Dynamic: loadmodel.Dynamic{C1: 1, C2: 0.1}}
+	loads := pred.Predict(events, inter, 50)
+	d, err := loadbalance.GreedyRefine(e.LocationRanks(), loads, ranks, 1.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ImbalanceBefore < float64(ranks)-0.1 {
+		t.Fatalf("all-on-rank-0 should be maximally imbalanced, got %v", d.ImbalanceBefore)
+	}
+	if d.ImbalanceAfter > 1.5 {
+		t.Fatalf("rebalancing left imbalance %v", d.ImbalanceAfter)
+	}
+	migrated, err := e.MigrateLocations(d.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Fatal("nothing migrated")
+	}
+
+	// Next day's measured load distribution over ranks must be balanced.
+	e.runDay(2)
+	events2, _ := e.LocationLoads()
+	perRank := make([]float64, ranks)
+	ranksNow := e.LocationRanks()
+	for l, ev := range events2 {
+		perRank[ranksNow[l]] += float64(ev)
+	}
+	var maxL, total float64
+	for _, l := range perRank {
+		total += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	imb := maxL / (total / float64(ranks))
+	if imb > 2.0 {
+		t.Fatalf("post-migration measured imbalance %v", imb)
+	}
+}
+
+// TestMigrateLocationsValidation covers the error paths.
+func TestMigrateLocationsValidation(t *testing.T) {
+	pop := testPop(t)
+	e, err := New(Config{Population: pop, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MigrateLocations(make([]int32, 3)); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := make([]int32, pop.NumLocations())
+	bad[0] = 7
+	if _, err := e.MigrateLocations(bad); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func sumI64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

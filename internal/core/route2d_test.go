@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestRoute2DInvarianceAndWireReduction: TRAM-style routing must not
+// change the epidemic and should reduce wire messages at rank counts where
+// per-destination buffers underfill.
+func TestRoute2DInvarianceAndWireReduction(t *testing.T) {
+	pop := testPop(t)
+	// 144 ranks over ~22K visits/day: ≈1.5 messages per rank pair, so
+	// direct per-destination buffers underfill badly — the regime TRAM
+	// routing is for.
+	mk := func(route bool) Config {
+		return Config{Population: pop, Disease: hotModel(),
+			Days: 10, Seed: 59, InitialInfections: 5,
+			Ranks: 144, AggBufferSize: 16, Route2D: route}
+	}
+	direct := run(t, mk(false))
+	routed := run(t, mk(true))
+	if !sameSignature(epiSignature(direct), epiSignature(routed)) {
+		t.Fatal("2D routing changed the epidemic")
+	}
+	var wireDirect, wireRouted int64
+	for d := range direct.Days {
+		wireDirect += direct.Days[d].PersonPhase.WireMessages
+		wireRouted += routed.Days[d].PersonPhase.WireMessages
+	}
+	if wireRouted >= wireDirect {
+		t.Fatalf("routing did not reduce person-phase wire messages: %d vs %d",
+			wireRouted, wireDirect)
+	}
+}

@@ -1,0 +1,258 @@
+// Package des implements the per-location sequential discrete-event
+// simulation of EpiSimdemics (Section II-B, step 3): every visit message a
+// location received is converted into an arrive and a depart event, events
+// are executed in time order while tracking sublocation occupancy, and each
+// co-presence of a susceptible and an infectious person triggers a
+// transmission trial. Successful trials yield the "infect" messages sent
+// back to person objects.
+//
+// The package also produces the event and interaction counts that feed the
+// static and dynamic workload models of Section III-A, and its execution
+// time is what the load model is fitted against (Figure 3(a)).
+package des
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Visitor is one visit at the location being simulated, annotated with the
+// visitor's effective disease parameters for the day. Exactly one of
+// Infectivity/Susceptibility is typically non-zero; both zero means the
+// person can neither infect nor be infected today (latent, recovered).
+type Visitor struct {
+	Person         int32
+	Sub            int32 // sublocation index within this location
+	Start, End     int16 // minutes of day, [Start, End)
+	Infectivity    float64
+	Susceptibility float64
+	// OrigSub is the visitor's sublocation in the pre-splitLoc numbering
+	// of the original location. Only consulted in mixing mode (Params.
+	// Mixing > 0), where it both groups occupancy and keys trials so that
+	// retain-edges splitting with infectious replication reproduces the
+	// unsplit outcome exactly. May lie outside this fragment's local
+	// range for replicated infectious visitors.
+	OrigSub int32
+}
+
+// Infection is a successful transmission: an "infect" message.
+type Infection struct {
+	Person   int32 // newly infected person
+	Infector int32
+	Minute   int16 // co-presence start: when exposure began
+}
+
+// Params identifies the location and day being simulated, for keyed draws.
+type Params struct {
+	Day uint64
+	// LocKey identifies the location *stably across splitLoc*: split
+	// fragments pass the original location id, so splitting cannot change
+	// any transmission outcome (the correctness oracle of the repo).
+	LocKey uint64
+	// SubBase offsets this fragment's sublocation indices into the
+	// original location's sublocation numbering.
+	SubBase int32
+	// Tau is the disease transmissibility (τ in the transmission function).
+	Tau float64
+	// Mixing enables the inter-sublocation mixing model of the paper's
+	// future work (Section III-C, "elevators and hallways"): co-present
+	// people in *different* sublocations of the same location also
+	// interact, with transmission probability scaled by this factor
+	// (0 disables; 1 makes rooms irrelevant). In mixing mode occupancy is
+	// grouped by Visitor.OrigSub.
+	Mixing float64
+}
+
+// Result accumulates the outcome and the workload counters of one
+// location-day.
+type Result struct {
+	Infections []Infection
+	// Events is the number of arrive+depart events (2 × visits): the X
+	// input of the static load model.
+	Events int
+	// Interactions is the number of co-present person pairs examined
+	// (any health states) — the "sum of interactions" input of the dynamic
+	// load model.
+	Interactions int64
+	// Trials is the number of susceptible–infectious pairs that underwent
+	// a transmission trial.
+	Trials int64
+	// ContactMinutes sums pairwise overlap durations over all trials.
+	ContactMinutes int64
+	// SumReciprocal sums 1/(pair overlap) over trials — the "sum of the
+	// reciprocal of interactions" term of the dynamic model.
+	SumReciprocal float64
+}
+
+// Reset clears the result for reuse, keeping allocated capacity.
+func (r *Result) Reset() {
+	r.Infections = r.Infections[:0]
+	r.Events = 0
+	r.Interactions = 0
+	r.Trials = 0
+	r.ContactMinutes = 0
+	r.SumReciprocal = 0
+}
+
+// event is an arrive or depart of one visitor.
+type event struct {
+	minute int16
+	arrive bool
+	idx    int32 // visitor index
+}
+
+// Simulate executes the location-day DES and appends the outcome to out.
+// Infections are deduplicated per person (earliest exposure wins, ties
+// broken by smallest infector id), so the output is a canonical set that
+// does not depend on visitor ordering.
+func Simulate(visitors []Visitor, p Params, out *Result) {
+	out.Events += 2 * len(visitors)
+	if len(visitors) < 2 {
+		return
+	}
+	events := make([]event, 0, 2*len(visitors))
+	for i, v := range visitors {
+		events = append(events,
+			event{minute: v.Start, arrive: true, idx: int32(i)},
+			event{minute: v.End, arrive: false, idx: int32(i)},
+		)
+	}
+	// Departures sort before arrivals at the same minute so that touching
+	// intervals ([a,b) then [b,c)) never interact.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].minute != events[j].minute {
+			return events[i].minute < events[j].minute
+		}
+		if events[i].arrive != events[j].arrive {
+			return !events[i].arrive
+		}
+		// Tie-break by visitor id for full determinism.
+		return visitors[events[i].idx].Person < visitors[events[j].idx].Person
+	})
+
+	// occupancy[group] lists currently present visitor indices; the group
+	// is the fragment-local sublocation, or the original sublocation when
+	// the mixing model is active.
+	groupOf := func(v *Visitor) int32 {
+		if p.Mixing > 0 {
+			return v.OrigSub
+		}
+		return v.Sub
+	}
+	occupancy := make(map[int32][]int32)
+	// pending[person] is the best (earliest) infection found so far.
+	var pending map[int32]Infection
+
+	for _, e := range events {
+		v := &visitors[e.idx]
+		group := groupOf(v)
+		if !e.arrive {
+			occ := occupancy[group]
+			for k, idx := range occ {
+				if idx == e.idx {
+					occ[k] = occ[len(occ)-1]
+					occupancy[group] = occ[:len(occ)-1]
+					break
+				}
+			}
+			continue
+		}
+		meet := func(otherIdx int32, scale float64) {
+			o := &visitors[otherIdx]
+			out.Interactions++
+			// Overlap starts now (arrival) and ends at the earlier depart.
+			end := v.End
+			if o.End < end {
+				end = o.End
+			}
+			overlap := int(end) - int(e.minute)
+			if overlap <= 0 {
+				return
+			}
+			tryInfect(v, o, overlap, e.minute, scale, p, out, &pending)
+			tryInfect(o, v, overlap, e.minute, scale, p, out, &pending)
+		}
+		if p.Mixing > 0 {
+			for g, occ := range occupancy {
+				scale := p.Mixing
+				if g == group {
+					scale = 1
+				}
+				for _, otherIdx := range occ {
+					meet(otherIdx, scale)
+				}
+			}
+		} else {
+			for _, otherIdx := range occupancy[group] {
+				meet(otherIdx, 1)
+			}
+		}
+		occupancy[group] = append(occupancy[group], e.idx)
+	}
+
+	for _, inf := range pending {
+		out.Infections = append(out.Infections, inf)
+	}
+	// Canonical order for downstream determinism.
+	sort.Slice(out.Infections, func(i, j int) bool {
+		a, b := out.Infections[i], out.Infections[j]
+		if a.Person != b.Person {
+			return a.Person < b.Person
+		}
+		if a.Minute != b.Minute {
+			return a.Minute < b.Minute
+		}
+		return a.Infector < b.Infector
+	})
+}
+
+// tryInfect runs one directed transmission trial from infectious src to
+// susceptible dst, if their states allow it. scale multiplies the
+// transmission probability (1 for same-sublocation contact, the mixing
+// factor otherwise).
+func tryInfect(src, dst *Visitor, overlapMin int, at int16, scale float64, p Params, out *Result, pending *map[int32]Infection) {
+	if src.Infectivity <= 0 || dst.Susceptibility <= 0 || scale <= 0 {
+		return
+	}
+	out.Trials++
+	out.ContactMinutes += int64(overlapMin)
+	out.SumReciprocal += 1 / float64(overlapMin)
+	prob := scale * transmissionProb(p.Tau, src.Infectivity, dst.Susceptibility, overlapMin)
+	// The draw is keyed by content only — day, original location id,
+	// original sublocations, the pair, and the overlap start — never by
+	// execution order, so outcomes survive any re-partitioning (and, in
+	// mixing mode, survive retain-edges splitting with replication).
+	var subKey uint64
+	if p.Mixing > 0 {
+		subKey = xrand.Hash(uint64(src.OrigSub), uint64(dst.OrigSub))
+	} else {
+		subKey = uint64(p.SubBase + dst.Sub)
+	}
+	u := xrand.KeyedFloat64(0x1fec7, p.Day, p.LocKey,
+		subKey, uint64(src.Person), uint64(dst.Person), uint64(at))
+	if u >= prob {
+		return
+	}
+	inf := Infection{Person: dst.Person, Infector: src.Person, Minute: at}
+	if *pending == nil {
+		*pending = make(map[int32]Infection)
+	}
+	if old, ok := (*pending)[dst.Person]; ok {
+		if old.Minute < inf.Minute || (old.Minute == inf.Minute && old.Infector <= inf.Infector) {
+			return
+		}
+	}
+	(*pending)[dst.Person] = inf
+}
+
+// transmissionProb mirrors disease.Model.TransmissionProb; duplicated here
+// (a one-line formula) to keep des free of the disease package so the two
+// substrates stay independently testable.
+func transmissionProb(tau, inf, sus float64, durMin int) float64 {
+	if durMin <= 0 || inf <= 0 || sus <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-tau*inf*sus*float64(durMin))
+}

@@ -1,0 +1,182 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// mixParams returns mixing-enabled params.
+func mixParams(m float64) Params {
+	return Params{Day: 5, LocKey: 99, Tau: 0.002, Mixing: m}
+}
+
+func TestMixingCrossSublocationTransmission(t *testing.T) {
+	// Infectious in room 0, susceptible in room 1: never transmits without
+	// mixing, can transmit with mixing ~1 and huge tau.
+	visitors := []Visitor{
+		{Person: 1, Sub: 0, OrigSub: 0, Start: 0, End: 1440, Infectivity: 1},
+		{Person: 2, Sub: 1, OrigSub: 1, Start: 0, End: 1440, Susceptibility: 1},
+	}
+	var off Result
+	Simulate(visitors, Params{Day: 5, LocKey: 99, Tau: 100}, &off)
+	if len(off.Infections) != 0 {
+		t.Fatal("cross-room transmission without mixing")
+	}
+	var on Result
+	Simulate(visitors, Params{Day: 5, LocKey: 99, Tau: 100, Mixing: 1}, &on)
+	if len(on.Infections) != 1 {
+		t.Fatalf("mixing=1 with huge tau should transmit, got %d", len(on.Infections))
+	}
+}
+
+func TestMixingScalesProbability(t *testing.T) {
+	// Statistical check: cross-room attack rate under mixing m should be
+	// roughly m times the same-room rate for small probabilities.
+	sameRoom := 0
+	crossRoom := 0
+	n := 8000
+	m := 0.3
+	for i := 0; i < n; i++ {
+		same := []Visitor{
+			{Person: 1, Sub: 0, OrigSub: 0, Start: 0, End: 200, Infectivity: 1},
+			{Person: 2, Sub: 0, OrigSub: 0, Start: 0, End: 200, Susceptibility: 1},
+		}
+		cross := []Visitor{
+			{Person: 1, Sub: 0, OrigSub: 0, Start: 0, End: 200, Infectivity: 1},
+			{Person: 2, Sub: 1, OrigSub: 1, Start: 0, End: 200, Susceptibility: 1},
+		}
+		p := Params{Day: uint64(i), LocKey: 7, Tau: 0.002, Mixing: m}
+		var rs, rc Result
+		Simulate(same, p, &rs)
+		Simulate(cross, p, &rc)
+		sameRoom += len(rs.Infections)
+		crossRoom += len(rc.Infections)
+	}
+	ratio := float64(crossRoom) / float64(sameRoom)
+	// p_same = 1-exp(-0.4) = 0.33, p_cross = 0.3*0.33 = 0.099: ratio ≈ 0.30.
+	if ratio < 0.2 || ratio > 0.45 {
+		t.Fatalf("cross/same transmission ratio %.2f, want ≈%.2f", ratio, m)
+	}
+}
+
+// TestRetainEdgesReplicationInvariance is the core oracle of the Figure
+// 6(b) future-work model: simulating a whole location with mixing equals
+// simulating its fragments separately when each fragment receives the
+// local susceptibles plus replicas of ALL infectious visitors.
+func TestRetainEdgesReplicationInvariance(t *testing.T) {
+	s := xrand.NewStream(17)
+	for trial := 0; trial < 30; trial++ {
+		// Original location: 4 sublocations, visitors spread over them.
+		n := 6 + s.Intn(20)
+		var all []Visitor
+		for i := 0; i < n; i++ {
+			start := int16(s.Intn(1000))
+			v := Visitor{
+				Person: int32(i),
+				Sub:    int32(s.Intn(4)),
+				Start:  start,
+				End:    start + int16(30+s.Intn(400)),
+			}
+			v.OrigSub = v.Sub
+			if s.Float64() < 0.3 {
+				v.Infectivity = 1
+			} else {
+				v.Susceptibility = 1
+			}
+			all = append(all, v)
+		}
+		p := mixParams(0.35)
+		var whole Result
+		Simulate(all, p, &whole)
+
+		// Split into 2 fragments: sublocs {0,1} and {2,3}. Susceptibles go
+		// to their own fragment; infectious are replicated to both.
+		var fragA, fragB []Visitor
+		for _, v := range all {
+			inA := v.OrigSub < 2
+			if v.Infectivity > 0 {
+				fragA = append(fragA, v)
+				fragB = append(fragB, v)
+				continue
+			}
+			if inA {
+				fragA = append(fragA, v)
+			} else {
+				fragB = append(fragB, v)
+			}
+		}
+		var ra, rb Result
+		Simulate(fragA, p, &ra)
+		Simulate(fragB, p, &rb)
+
+		merged := map[Infection]bool{}
+		for _, i := range append(append([]Infection(nil), ra.Infections...), rb.Infections...) {
+			merged[i] = true
+		}
+		if len(merged) != len(whole.Infections) {
+			t.Fatalf("trial %d: replication changed infection count: %d vs %d",
+				trial, len(merged), len(whole.Infections))
+		}
+		for _, i := range whole.Infections {
+			if !merged[i] {
+				t.Fatalf("trial %d: infection %+v lost under replication", trial, i)
+			}
+		}
+	}
+}
+
+func TestMixingZeroMatchesLegacyPath(t *testing.T) {
+	// Mixing=0 must take the exact legacy path: same infections as before
+	// the mixing feature existed (keys unchanged).
+	visitors := []Visitor{
+		{Person: 1, Sub: 0, Start: 0, End: 700, Infectivity: 1},
+		{Person: 2, Sub: 0, Start: 60, End: 800, Susceptibility: 1},
+		{Person: 3, Sub: 1, Start: 0, End: 700, Infectivity: 1},
+		{Person: 4, Sub: 1, Start: 60, End: 800, Susceptibility: 1},
+	}
+	p := Params{Day: 9, LocKey: 42, Tau: 0.002}
+	var a, b Result
+	Simulate(visitors, p, &a)
+	p.Mixing = 0
+	Simulate(visitors, p, &b)
+	if len(a.Infections) != len(b.Infections) {
+		t.Fatal("mixing=0 changed outcomes")
+	}
+	for i := range a.Infections {
+		if a.Infections[i] != b.Infections[i] {
+			t.Fatal("mixing=0 changed infections")
+		}
+	}
+}
+
+func TestMixingOrderInvariance(t *testing.T) {
+	base := []Visitor{
+		{Person: 1, Sub: 0, OrigSub: 0, Start: 0, End: 400, Infectivity: 1},
+		{Person: 2, Sub: 1, OrigSub: 1, Start: 100, End: 500, Susceptibility: 1},
+		{Person: 3, Sub: 2, OrigSub: 2, Start: 50, End: 450, Susceptibility: 1},
+		{Person: 4, Sub: 0, OrigSub: 0, Start: 10, End: 300, Susceptibility: 0.8},
+		{Person: 5, Sub: 1, OrigSub: 1, Start: 200, End: 600, Infectivity: 0.7},
+	}
+	p := mixParams(0.4)
+	var want Result
+	Simulate(base, p, &want)
+	s := xrand.NewStream(3)
+	for trial := 0; trial < 15; trial++ {
+		perm := s.Perm(len(base))
+		shuffled := make([]Visitor, len(base))
+		for i, j := range perm {
+			shuffled[i] = base[j]
+		}
+		var got Result
+		Simulate(shuffled, p, &got)
+		if len(got.Infections) != len(want.Infections) {
+			t.Fatal("mixing outcomes depend on visitor order")
+		}
+		for i := range got.Infections {
+			if got.Infections[i] != want.Infections[i] {
+				t.Fatal("mixing infections depend on visitor order")
+			}
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package disease implements the probabilistic timed transition system
+// (PTTS) that EpiSimdemics uses to track each person's health state
+// (Section II-A): a finite state machine where every state has a dwell-time
+// distribution and sets of probabilistic transitions, with different
+// transition sets depending on the treatment a person received (e.g.
+// vaccination). It also provides the transmission function evaluated for
+// each susceptible–infectious co-presence computed by the location DES.
+//
+// Models can be built in code or parsed from a small text format
+// (see Parse) mirroring EpiSimdemics' disease model files.
+package disease
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// StateID indexes a state within a Model.
+type StateID uint8
+
+// TreatmentID indexes a treatment within a Model. Treatment 0 is always
+// "none", the untreated baseline.
+type TreatmentID uint8
+
+// DwellKind selects a dwell-time distribution family.
+type DwellKind uint8
+
+// Dwell-time distribution kinds.
+const (
+	// DwellForever marks absorbing states (susceptible, recovered, dead).
+	DwellForever DwellKind = iota
+	// DwellFixed stays exactly A days.
+	DwellFixed
+	// DwellUniform stays uniformly A..B days inclusive.
+	DwellUniform
+	// DwellGeometric stays k >= A days with success probability 1/B per
+	// day after the minimum (mean A + B - 1).
+	DwellGeometric
+)
+
+// Dwell is a dwell-time distribution over whole simulation days.
+type Dwell struct {
+	Kind DwellKind
+	A, B int
+}
+
+// Sample draws a dwell time in days, keyed so that the same (person, state,
+// entry day) always dwells equally long regardless of execution order.
+// Absorbing states return a very large number.
+func (d Dwell) Sample(keys ...uint64) int {
+	switch d.Kind {
+	case DwellForever:
+		return math.MaxInt32
+	case DwellFixed:
+		return d.A
+	case DwellUniform:
+		if d.B <= d.A {
+			return d.A
+		}
+		return d.A + xrand.KeyedIntn(d.B-d.A+1, keys...)
+	case DwellGeometric:
+		days := d.A
+		h := xrand.Hash(keys...)
+		for i := 0; i < 1024; i++ { // hard cap keeps draws bounded
+			h = xrand.Hash(h)
+			if float64(h>>11)/(1<<53) < 1/float64(d.B) {
+				break
+			}
+			days++
+		}
+		return days
+	default:
+		panic(fmt.Sprintf("disease: unknown dwell kind %d", d.Kind))
+	}
+}
+
+// Mean returns the expected dwell in days (infinite for absorbing states).
+func (d Dwell) Mean() float64 {
+	switch d.Kind {
+	case DwellForever:
+		return math.Inf(1)
+	case DwellFixed:
+		return float64(d.A)
+	case DwellUniform:
+		return float64(d.A+d.B) / 2
+	case DwellGeometric:
+		return float64(d.A) + float64(d.B) - 1
+	default:
+		return 0
+	}
+}
+
+// Transition is one probabilistic edge of the PTTS.
+type Transition struct {
+	Prob float64
+	Next StateID
+}
+
+// State is one PTTS node.
+type State struct {
+	Name string
+	// Infectivity scales how strongly a person in this state infects
+	// others; 0 means not infectious.
+	Infectivity float64
+	// Susceptibility scales how easily a person in this state is infected;
+	// 0 means immune / already infected.
+	Susceptibility float64
+	Dwell          Dwell
+	// Transitions[t] is the transition set under treatment t. A state with
+	// an empty transition set for every treatment must be absorbing.
+	Transitions [][]Transition
+}
+
+// Treatment modifies a person's interaction with the disease.
+type Treatment struct {
+	Name string
+	// SusceptibilityMul and InfectivityMul scale the person's state values;
+	// e.g. a vaccine with SusceptibilityMul 0.3 blocks 70% of exposure.
+	SusceptibilityMul float64
+	InfectivityMul    float64
+}
+
+// Model is a complete PTTS disease model.
+type Model struct {
+	Name string
+	// Transmissibility is τ in the transmission function — calibrated so
+	// that a season takes the paper's 120–180 day horizon.
+	Transmissibility float64
+	States           []State
+	Treatments       []Treatment
+	// Entry is the initial healthy state (usually "susceptible").
+	Entry StateID
+	// InfectTarget is the state a successful transmission moves a person
+	// into (usually "latent": the latent period is what lets EpiSimdemics
+	// process a whole day in parallel, Section II-B).
+	InfectTarget StateID
+
+	index map[string]StateID
+}
+
+// StateByName resolves a state name.
+func (m *Model) StateByName(name string) (StateID, bool) {
+	id, ok := m.index[name]
+	return id, ok
+}
+
+// StateName returns the name of state id.
+func (m *Model) StateName(id StateID) string { return m.States[id].Name }
+
+// NumStates returns the number of PTTS states.
+func (m *Model) NumStates() int { return len(m.States) }
+
+// TreatmentByName resolves a treatment name.
+func (m *Model) TreatmentByName(name string) (TreatmentID, bool) {
+	for i, t := range m.Treatments {
+		if t.Name == name {
+			return TreatmentID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Infectivity returns the effective infectivity of a person in state s
+// under treatment t.
+func (m *Model) Infectivity(s StateID, t TreatmentID) float64 {
+	return m.States[s].Infectivity * m.Treatments[t].InfectivityMul
+}
+
+// Susceptibility returns the effective susceptibility of a person in state
+// s under treatment t.
+func (m *Model) Susceptibility(s StateID, t TreatmentID) float64 {
+	return m.States[s].Susceptibility * m.Treatments[t].SusceptibilityMul
+}
+
+// IsInfectious reports whether state s can infect others (untreated).
+func (m *Model) IsInfectious(s StateID) bool { return m.States[s].Infectivity > 0 }
+
+// IsSusceptible reports whether state s can be infected (untreated).
+func (m *Model) IsSusceptible(s StateID) bool { return m.States[s].Susceptibility > 0 }
+
+// SampleDwell draws the dwell time for entering state s, keyed by the
+// person id and entry day for partition invariance.
+func (m *Model) SampleDwell(s StateID, person uint64, day uint64) int {
+	return m.States[s].Dwell.Sample(0xD3e11, person, uint64(s), day)
+}
+
+// NextState samples the successor of state s under treatment t. The bool
+// is false if s is absorbing (no transitions).
+func (m *Model) NextState(s StateID, t TreatmentID, person uint64, day uint64) (StateID, bool) {
+	trs := m.States[s].Transitions
+	var set []Transition
+	if int(t) < len(trs) && len(trs[t]) > 0 {
+		set = trs[t]
+	} else if len(trs) > 0 {
+		set = trs[0] // fall back to the untreated set
+	}
+	if len(set) == 0 {
+		return s, false
+	}
+	u := xrand.KeyedFloat64(0x77a4, person, uint64(s), uint64(t), day)
+	var cum float64
+	for _, tr := range set {
+		cum += tr.Prob
+		if u < cum {
+			return tr.Next, true
+		}
+	}
+	return set[len(set)-1].Next, true
+}
+
+// TransmissionProb returns the probability that an infectious person with
+// effective infectivity inf infects a susceptible person with effective
+// susceptibility sus during durMin minutes of co-presence in the same
+// sublocation:
+//
+//	p = 1 - exp(-τ · inf · sus · durMin)
+//
+// This is the standard EpiSimdemics/Eubank contact-process transmission
+// function (references [1], [11] of the paper).
+func (m *Model) TransmissionProb(durMin int, inf, sus float64) float64 {
+	if durMin <= 0 || inf <= 0 || sus <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-m.Transmissibility*inf*sus*float64(durMin))
+}
+
+// Validate checks the model's structural invariants: transition
+// probabilities sum to ≈1 per non-absorbing (state, treatment), targets in
+// range, entry/infect states sane, and treatment 0 being the identity
+// "none" treatment.
+func (m *Model) Validate() error {
+	if len(m.States) == 0 {
+		return fmt.Errorf("disease: model %q has no states", m.Name)
+	}
+	if len(m.Treatments) == 0 || m.Treatments[0].Name != "none" {
+		return fmt.Errorf("disease: treatment 0 must be \"none\"")
+	}
+	if m.Transmissibility <= 0 {
+		return fmt.Errorf("disease: non-positive transmissibility")
+	}
+	if int(m.Entry) >= len(m.States) || int(m.InfectTarget) >= len(m.States) {
+		return fmt.Errorf("disease: entry/infect state out of range")
+	}
+	if !m.IsSusceptible(m.Entry) {
+		return fmt.Errorf("disease: entry state %q is not susceptible", m.StateName(m.Entry))
+	}
+	if m.Entry == m.InfectTarget {
+		return fmt.Errorf("disease: infect target equals entry state")
+	}
+	for si, st := range m.States {
+		anyTransitions := false
+		for ti, set := range st.Transitions {
+			if len(set) == 0 {
+				continue
+			}
+			anyTransitions = true
+			var sum float64
+			for _, tr := range set {
+				if tr.Prob < 0 || tr.Prob > 1 {
+					return fmt.Errorf("disease: state %q treatment %d has probability %v", st.Name, ti, tr.Prob)
+				}
+				if int(tr.Next) >= len(m.States) {
+					return fmt.Errorf("disease: state %q transition to unknown state %d", st.Name, tr.Next)
+				}
+				sum += tr.Prob
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("disease: state %q treatment %d probabilities sum to %v", st.Name, ti, sum)
+			}
+		}
+		if anyTransitions && st.Dwell.Kind == DwellForever {
+			return fmt.Errorf("disease: state %q dwells forever but has transitions", st.Name)
+		}
+		if !anyTransitions && st.Dwell.Kind != DwellForever {
+			return fmt.Errorf("disease: state %q has finite dwell but no transitions", st.Name)
+		}
+		_ = si
+	}
+	return nil
+}
+
+// buildIndex (re)builds the name index; called by constructors and Parse.
+func (m *Model) buildIndex() {
+	m.index = make(map[string]StateID, len(m.States))
+	for i, s := range m.States {
+		m.index[s.Name] = StateID(i)
+	}
+}
+
+// Default returns the influenza-like PTTS used throughout the experiments:
+// susceptible → latent → infectious → {symptomatic | asymptomatic} →
+// recovered, with a "vaccinated" treatment that reduces susceptibility and
+// infectivity and shortens symptomatic illness. Transmissibility is
+// calibrated so that an unmitigated epidemic in the synthetic populations
+// peaks within the paper's 120–180 day simulation horizon.
+func Default() *Model {
+	const (
+		sSus StateID = iota
+		sLatent
+		sInfectious
+		sSymp
+		sAsymp
+		sRecovered
+	)
+	m := &Model{
+		Name:             "ili",
+		Transmissibility: 0.000028,
+		Entry:            sSus,
+		InfectTarget:     sLatent,
+		Treatments: []Treatment{
+			{Name: "none", SusceptibilityMul: 1, InfectivityMul: 1},
+			{Name: "vaccinated", SusceptibilityMul: 0.3, InfectivityMul: 0.5},
+		},
+		States: []State{
+			{Name: "susceptible", Susceptibility: 1, Dwell: Dwell{Kind: DwellForever}},
+			{Name: "latent", Dwell: Dwell{Kind: DwellUniform, A: 1, B: 3},
+				Transitions: [][]Transition{{{Prob: 1, Next: sInfectious}}}},
+			{Name: "infectious", Infectivity: 1, Dwell: Dwell{Kind: DwellFixed, A: 1},
+				Transitions: [][]Transition{
+					{{Prob: 0.66, Next: sSymp}, {Prob: 0.34, Next: sAsymp}},
+					{{Prob: 0.25, Next: sSymp}, {Prob: 0.75, Next: sAsymp}}, // vaccinated
+				}},
+			{Name: "symptomatic", Infectivity: 1.5, Dwell: Dwell{Kind: DwellUniform, A: 3, B: 6},
+				Transitions: [][]Transition{
+					{{Prob: 1, Next: sRecovered}},
+				}},
+			{Name: "asymptomatic", Infectivity: 0.5, Dwell: Dwell{Kind: DwellUniform, A: 2, B: 4},
+				Transitions: [][]Transition{{{Prob: 1, Next: sRecovered}}}},
+			{Name: "recovered", Dwell: Dwell{Kind: DwellForever}},
+		},
+	}
+	m.buildIndex()
+	if err := m.Validate(); err != nil {
+		panic("disease: default model invalid: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,256 @@
+package disease
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 6 {
+		t.Fatalf("states = %d", m.NumStates())
+	}
+	if !m.IsSusceptible(m.Entry) {
+		t.Fatal("entry not susceptible")
+	}
+	if m.IsInfectious(m.Entry) {
+		t.Fatal("entry should not be infectious")
+	}
+	if m.IsInfectious(m.InfectTarget) {
+		t.Fatal("latent should not be infectious yet")
+	}
+	inf, ok := m.StateByName("infectious")
+	if !ok || !m.IsInfectious(inf) {
+		t.Fatal("infectious state broken")
+	}
+}
+
+func TestStateByName(t *testing.T) {
+	m := Default()
+	for i := 0; i < m.NumStates(); i++ {
+		id, ok := m.StateByName(m.StateName(StateID(i)))
+		if !ok || id != StateID(i) {
+			t.Fatalf("index broken for state %d", i)
+		}
+	}
+	if _, ok := m.StateByName("zombie"); ok {
+		t.Fatal("unknown state resolved")
+	}
+}
+
+func TestTreatmentEffects(t *testing.T) {
+	m := Default()
+	vac, ok := m.TreatmentByName("vaccinated")
+	if !ok {
+		t.Fatal("no vaccinated treatment")
+	}
+	none, _ := m.TreatmentByName("none")
+	sus, _ := m.StateByName("susceptible")
+	if m.Susceptibility(sus, vac) >= m.Susceptibility(sus, none) {
+		t.Fatal("vaccination should reduce susceptibility")
+	}
+	symp, _ := m.StateByName("symptomatic")
+	if m.Infectivity(symp, vac) >= m.Infectivity(symp, none) {
+		t.Fatal("vaccination should reduce infectivity")
+	}
+}
+
+func TestDwellSampleDeterministic(t *testing.T) {
+	d := Dwell{Kind: DwellUniform, A: 2, B: 9}
+	if d.Sample(1, 2) != d.Sample(1, 2) {
+		t.Fatal("keyed dwell not deterministic")
+	}
+}
+
+func TestDwellSampleRanges(t *testing.T) {
+	f := func(p, day uint64) bool {
+		u := Dwell{Kind: DwellUniform, A: 2, B: 5}.Sample(p, day)
+		if u < 2 || u > 5 {
+			return false
+		}
+		fx := Dwell{Kind: DwellFixed, A: 3}.Sample(p, day)
+		if fx != 3 {
+			return false
+		}
+		g := Dwell{Kind: DwellGeometric, A: 2, B: 3}.Sample(p, day)
+		return g >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDwellForeverIsHuge(t *testing.T) {
+	if (Dwell{Kind: DwellForever}).Sample(1) < 1<<30 {
+		t.Fatal("forever dwell too short")
+	}
+}
+
+func TestDwellMeans(t *testing.T) {
+	if m := (Dwell{Kind: DwellFixed, A: 4}).Mean(); m != 4 {
+		t.Fatalf("fixed mean %v", m)
+	}
+	if m := (Dwell{Kind: DwellUniform, A: 2, B: 6}).Mean(); m != 4 {
+		t.Fatalf("uniform mean %v", m)
+	}
+	if !math.IsInf((Dwell{Kind: DwellForever}).Mean(), 1) {
+		t.Fatal("forever mean should be +inf")
+	}
+	if m := (Dwell{Kind: DwellGeometric, A: 2, B: 3}).Mean(); m != 4 {
+		t.Fatalf("geometric mean %v", m)
+	}
+}
+
+func TestDwellGeometricDistribution(t *testing.T) {
+	d := Dwell{Kind: DwellGeometric, A: 1, B: 2}
+	n := 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(uint64(i), 9)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-d.Mean()) > 0.05*d.Mean() {
+		t.Fatalf("geometric sample mean %v, want ~%v", mean, d.Mean())
+	}
+}
+
+func TestNextStateDistribution(t *testing.T) {
+	m := Default()
+	inf, _ := m.StateByName("infectious")
+	symp, _ := m.StateByName("symptomatic")
+	n := 50000
+	count := 0
+	for p := 0; p < n; p++ {
+		next, ok := m.NextState(inf, 0, uint64(p), 5)
+		if !ok {
+			t.Fatal("infectious should transition")
+		}
+		if next == symp {
+			count++
+		}
+	}
+	frac := float64(count) / float64(n)
+	if math.Abs(frac-0.66) > 0.02 {
+		t.Fatalf("symptomatic fraction = %v, want ~0.66", frac)
+	}
+}
+
+func TestNextStateTreatmentSpecific(t *testing.T) {
+	m := Default()
+	inf, _ := m.StateByName("infectious")
+	symp, _ := m.StateByName("symptomatic")
+	vac, _ := m.TreatmentByName("vaccinated")
+	n := 50000
+	count := 0
+	for p := 0; p < n; p++ {
+		next, _ := m.NextState(inf, vac, uint64(p), 5)
+		if next == symp {
+			count++
+		}
+	}
+	frac := float64(count) / float64(n)
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("vaccinated symptomatic fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestNextStateAbsorbing(t *testing.T) {
+	m := Default()
+	rec, _ := m.StateByName("recovered")
+	if _, ok := m.NextState(rec, 0, 1, 1); ok {
+		t.Fatal("recovered should be absorbing")
+	}
+}
+
+func TestNextStateFallsBackToUntreated(t *testing.T) {
+	m := Default()
+	// symptomatic defines only the untreated set; vaccinated must fall back.
+	symp, _ := m.StateByName("symptomatic")
+	vac, _ := m.TreatmentByName("vaccinated")
+	next, ok := m.NextState(symp, vac, 3, 3)
+	rec, _ := m.StateByName("recovered")
+	if !ok || next != rec {
+		t.Fatalf("fallback transition = %v, %v", next, ok)
+	}
+}
+
+func TestTransmissionProb(t *testing.T) {
+	m := Default()
+	if p := m.TransmissionProb(0, 1, 1); p != 0 {
+		t.Fatalf("zero duration p = %v", p)
+	}
+	if p := m.TransmissionProb(60, 0, 1); p != 0 {
+		t.Fatalf("zero infectivity p = %v", p)
+	}
+	p1 := m.TransmissionProb(30, 1, 1)
+	p2 := m.TransmissionProb(120, 1, 1)
+	if !(0 < p1 && p1 < p2 && p2 < 1) {
+		t.Fatalf("p(30)=%v p(120)=%v: want monotone in (0,1)", p1, p2)
+	}
+	// Very long exposure with high infectivity approaches 1.
+	if p := m.TransmissionProb(1<<20, 10, 10); p < 0.999 {
+		t.Fatalf("saturating p = %v", p)
+	}
+}
+
+func TestTransmissionProbMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw%1440)+1, int(bRaw%1440)+1
+		pa, pb := m.TransmissionProb(a, 1, 1), m.TransmissionProb(b, 1, 1)
+		if a < b {
+			return pa <= pb
+		}
+		return pb <= pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	cases := []func(m *Model){
+		func(m *Model) { m.Transmissibility = 0 },
+		func(m *Model) { m.Treatments[0].Name = "zap" },
+		func(m *Model) { m.InfectTarget = m.Entry },
+		func(m *Model) { m.States[1].Transitions[0][0].Prob = 0.5 }, // sums to 0.5
+		func(m *Model) { m.States[1].Dwell = Dwell{Kind: DwellForever} },
+		func(m *Model) { m.States[0].Susceptibility = 0 },
+	}
+	for i, corrupt := range cases {
+		m := Default()
+		corrupt(m)
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: corruption not caught", i)
+		}
+	}
+}
+
+func TestHealthTrajectoryTerminates(t *testing.T) {
+	// Simulate the PTTS for many persons; everyone must reach an absorbing
+	// state in bounded time — no cycles in the default model.
+	m := Default()
+	for p := 0; p < 2000; p++ {
+		s := m.InfectTarget
+		day := uint64(0)
+		for steps := 0; ; steps++ {
+			if steps > 100 {
+				t.Fatalf("person %d did not terminate", p)
+			}
+			dwell := m.SampleDwell(s, uint64(p), day)
+			if dwell > 1<<30 {
+				break // absorbing
+			}
+			day += uint64(dwell)
+			next, ok := m.NextState(s, 0, uint64(p), day)
+			if !ok {
+				break
+			}
+			s = next
+		}
+	}
+}

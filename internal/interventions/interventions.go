@@ -1,0 +1,648 @@
+// Package interventions implements a small domain-specific language for
+// epidemic interventions and behavior, standing in for the DSL of Bisset
+// et al. (the paper's reference [6]) that EpiSimdemics uses to model
+// "vaccinations, school closures, and anxiety levels". The H1N1
+// course-of-action analyses the paper's introduction describes — closing
+// schools, shutting down workplaces — are expressed in it.
+//
+// A scenario is a list of one-shot rules:
+//
+//	# close schools when symptomatic prevalence passes 1%
+//	when prevalence(symptomatic) > 0.01 and day >= 5 {
+//	    close school for 14
+//	    vaccinate 0.25 of people
+//	    reduce shop visits by 0.5 for 21
+//	    isolate symptomatic for 30
+//	}
+//
+// Conditions may reference day, prevalence(STATE), count(STATE),
+// attackrate, and population, combined with and/or, comparisons and
+// parentheses. Each rule fires at most once, on the first day its
+// condition holds; its actions then stay in force for their stated
+// durations. The engine queries the resulting Effects each day.
+package interventions
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Action kinds.
+type ActionKind uint8
+
+// Supported actions.
+const (
+	// ActClose closes all locations of a type for N days.
+	ActClose ActionKind = iota
+	// ActVaccinate vaccinates a fraction of the (untreated) population.
+	ActVaccinate
+	// ActReduceVisits drops a fraction of visits to a location type for N
+	// days (anxiety-driven demand reduction).
+	ActReduceVisits
+	// ActIsolate keeps people in a given disease state home for N days.
+	ActIsolate
+)
+
+// Action is one effectful statement of a rule.
+type Action struct {
+	Kind     ActionKind
+	LocType  string  // close / reduce target ("school", "work", ...)
+	State    string  // isolate target state
+	Fraction float64 // vaccinate / reduce fraction
+	Days     int     // duration
+}
+
+// Rule is "when <cond> { <actions> }". Rules fire once.
+type Rule struct {
+	Cond    Expr
+	Actions []Action
+	fired   bool
+}
+
+// Scenario is a parsed intervention program.
+type Scenario struct {
+	Rules []Rule
+}
+
+// Env is the world state visible to conditions on a given day.
+type Env struct {
+	Day        int
+	Population int
+	// Counts maps disease state name to the number of people in it.
+	Counts map[string]int
+	// CumulativeInfected counts everyone ever infected (attack rate
+	// numerator).
+	CumulativeInfected int
+}
+
+// Effects is the set of currently active intervention effects, maintained
+// by repeatedly calling Scenario.Step.
+type Effects struct {
+	// ClosedFor[locType] > 0 means locations of that type are closed for
+	// that many more days.
+	ClosedFor map[string]int
+	// ReduceFrac[locType] is the active visit-reduction fraction, with
+	// remaining days in ReduceFor.
+	ReduceFrac map[string]float64
+	ReduceFor  map[string]int
+	// VaccinateNow is the fraction of the population to vaccinate today
+	// (consumed by the engine each day it is non-zero).
+	VaccinateNow float64
+	// IsolateFor[state] > 0 keeps people in that state home.
+	IsolateFor map[string]int
+}
+
+// NewEffects returns empty effects.
+func NewEffects() *Effects {
+	return &Effects{
+		ClosedFor:  map[string]int{},
+		ReduceFrac: map[string]float64{},
+		ReduceFor:  map[string]int{},
+		IsolateFor: map[string]int{},
+	}
+}
+
+// Closed reports whether a location type is currently closed.
+func (e *Effects) Closed(locType string) bool { return e.ClosedFor[locType] > 0 }
+
+// Reduction returns the active visit-reduction fraction for a type.
+func (e *Effects) Reduction(locType string) float64 {
+	if e.ReduceFor[locType] > 0 {
+		return e.ReduceFrac[locType]
+	}
+	return 0
+}
+
+// Isolated reports whether a disease state is under isolation orders.
+func (e *Effects) Isolated(state string) bool { return e.IsolateFor[state] > 0 }
+
+// Tick ages all active effects by one day and clears the one-day
+// vaccination order. Call at the end of each simulated day.
+func (e *Effects) Tick() {
+	for k := range e.ClosedFor {
+		if e.ClosedFor[k] > 0 {
+			e.ClosedFor[k]--
+		}
+	}
+	for k := range e.ReduceFor {
+		if e.ReduceFor[k] > 0 {
+			e.ReduceFor[k]--
+		}
+	}
+	for k := range e.IsolateFor {
+		if e.IsolateFor[k] > 0 {
+			e.IsolateFor[k]--
+		}
+	}
+	e.VaccinateNow = 0
+}
+
+// Step evaluates all rules against env, applying newly fired rules'
+// actions to effects. It returns the actions fired today.
+func (s *Scenario) Step(env Env, effects *Effects) []Action {
+	var fired []Action
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		if r.fired {
+			continue
+		}
+		if !r.Cond.Eval(env) {
+			continue
+		}
+		r.fired = true
+		for _, a := range r.Actions {
+			switch a.Kind {
+			case ActClose:
+				if a.Days > effects.ClosedFor[a.LocType] {
+					effects.ClosedFor[a.LocType] = a.Days
+				}
+			case ActVaccinate:
+				effects.VaccinateNow += a.Fraction
+			case ActReduceVisits:
+				effects.ReduceFrac[a.LocType] = a.Fraction
+				if a.Days > effects.ReduceFor[a.LocType] {
+					effects.ReduceFor[a.LocType] = a.Days
+				}
+			case ActIsolate:
+				if a.Days > effects.IsolateFor[a.State] {
+					effects.IsolateFor[a.State] = a.Days
+				}
+			}
+			fired = append(fired, a)
+		}
+	}
+	return fired
+}
+
+// Reset re-arms all rules (for running the same scenario again).
+func (s *Scenario) Reset() {
+	for i := range s.Rules {
+		s.Rules[i].fired = false
+	}
+}
+
+// Expr is a boolean/arithmetic expression over Env.
+type Expr interface {
+	Eval(env Env) bool
+}
+
+// numExpr evaluates to a float against the environment.
+type numExpr interface {
+	value(env Env) float64
+}
+
+type numLit float64
+
+func (n numLit) value(Env) float64 { return float64(n) }
+
+type dayVar struct{}
+
+func (dayVar) value(env Env) float64 { return float64(env.Day) }
+
+type popVar struct{}
+
+func (popVar) value(env Env) float64 { return float64(env.Population) }
+
+type attackRateVar struct{}
+
+func (attackRateVar) value(env Env) float64 {
+	if env.Population == 0 {
+		return 0
+	}
+	return float64(env.CumulativeInfected) / float64(env.Population)
+}
+
+type prevalenceVar struct{ state string }
+
+func (p prevalenceVar) value(env Env) float64 {
+	if env.Population == 0 {
+		return 0
+	}
+	return float64(env.Counts[p.state]) / float64(env.Population)
+}
+
+type countVar struct{ state string }
+
+func (c countVar) value(env Env) float64 { return float64(env.Counts[c.state]) }
+
+type cmpExpr struct {
+	op   string
+	l, r numExpr
+}
+
+func (c cmpExpr) Eval(env Env) bool {
+	a, b := c.l.value(env), c.r.value(env)
+	switch c.op {
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	}
+	return false
+}
+
+type andExpr struct{ l, r Expr }
+
+func (a andExpr) Eval(env Env) bool { return a.l.Eval(env) && a.r.Eval(env) }
+
+type orExpr struct{ l, r Expr }
+
+func (o orExpr) Eval(env Env) bool { return o.l.Eval(env) || o.r.Eval(env) }
+
+// ---- Lexer ----
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokSymbol // { } ( ) < > <= >= == !=
+	tokEOF
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		ch := lx.src[lx.pos]
+		switch {
+		case ch == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case ch == '\n':
+			lx.line++
+			lx.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			lx.pos++
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+scan:
+	ch := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case isAlpha(ch):
+		for lx.pos < len(lx.src) && (isAlpha(lx.src[lx.pos]) || isDigit(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line}, nil
+	case isDigit(ch) || ch == '.':
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.' ||
+			lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E' ||
+			((lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') && lx.pos > start &&
+				(lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E'))) {
+			lx.pos++
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], line: lx.line}, nil
+	case strings.ContainsRune("{}()", rune(ch)):
+		lx.pos++
+		return token{kind: tokSymbol, text: string(ch), line: lx.line}, nil
+	case ch == '<' || ch == '>' || ch == '=' || ch == '!':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return token{kind: tokSymbol, text: lx.src[start : start+2], line: lx.line}, nil
+		}
+		if ch == '=' || ch == '!' {
+			return token{}, fmt.Errorf("interventions: line %d: lone %q", lx.line+1, ch)
+		}
+		return token{kind: tokSymbol, text: string(ch), line: lx.line}, nil
+	default:
+		return token{}, fmt.Errorf("interventions: line %d: unexpected character %q", lx.line+1, ch)
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// ---- Parser ----
+
+type parser struct {
+	lx  lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("interventions: line %d: %s", p.cur.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind, text string) error {
+	if p.cur.kind != kind || (text != "" && p.cur.text != text) {
+		return p.fail("expected %q, found %q", text, p.cur.text)
+	}
+	return p.advance()
+}
+
+// Parse parses a scenario program.
+func Parse(src string) (*Scenario, error) {
+	p := &parser{lx: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var s Scenario
+	for p.cur.kind != tokEOF {
+		if p.cur.kind != tokIdent || p.cur.text != "when" {
+			return nil, p.fail("expected \"when\", found %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, "{"); err != nil {
+			return nil, err
+		}
+		var actions []Action
+		for !(p.cur.kind == tokSymbol && p.cur.text == "}") {
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			actions = append(actions, a)
+		}
+		if err := p.advance(); err != nil { // consume '}'
+			return nil, err
+		}
+		if len(actions) == 0 {
+			return nil, fmt.Errorf("interventions: rule with empty action block")
+		}
+		s.Rules = append(s.Rules, Rule{Cond: cond, Actions: actions})
+	}
+	if len(s.Rules) == 0 {
+		return nil, fmt.Errorf("interventions: empty scenario")
+	}
+	return &s, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokIdent && p.cur.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokIdent && p.cur.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	if p.cur.kind == tokSymbol && p.cur.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	l, err := p.parseNum()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokSymbol {
+		return nil, p.fail("expected comparison operator, found %q", p.cur.text)
+	}
+	op := p.cur.text
+	switch op {
+	case "<", "<=", ">", ">=", "==", "!=":
+	default:
+		return nil, p.fail("unknown operator %q", op)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseNum()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{op: op, l: l, r: r}, nil
+}
+
+func (p *parser) parseNum() (numExpr, error) {
+	switch p.cur.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, p.fail("bad number %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return numLit(v), nil
+	case tokIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "day":
+			return dayVar{}, nil
+		case "population":
+			return popVar{}, nil
+		case "attackrate":
+			return attackRateVar{}, nil
+		case "prevalence", "count":
+			if err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if p.cur.kind != tokIdent {
+				return nil, p.fail("expected state name, found %q", p.cur.text)
+			}
+			state := p.cur.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			if name == "prevalence" {
+				return prevalenceVar{state: state}, nil
+			}
+			return countVar{state: state}, nil
+		default:
+			return nil, p.fail("unknown variable %q", name)
+		}
+	default:
+		return nil, p.fail("expected number or variable, found %q", p.cur.text)
+	}
+}
+
+func (p *parser) parseAction() (Action, error) {
+	if p.cur.kind != tokIdent {
+		return Action{}, p.fail("expected action, found %q", p.cur.text)
+	}
+	verb := p.cur.text
+	if err := p.advance(); err != nil {
+		return Action{}, err
+	}
+	switch verb {
+	case "close":
+		// close LOCTYPE for N
+		locType, err := p.ident("location type")
+		if err != nil {
+			return Action{}, err
+		}
+		days, err := p.forDays()
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActClose, LocType: locType, Days: days}, nil
+	case "vaccinate":
+		// vaccinate F of people
+		f, err := p.number()
+		if err != nil {
+			return Action{}, err
+		}
+		if f < 0 || f > 1 {
+			return Action{}, p.fail("vaccinate fraction %v outside [0,1]", f)
+		}
+		if err := p.keyword("of"); err != nil {
+			return Action{}, err
+		}
+		if err := p.keyword("people"); err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActVaccinate, Fraction: f}, nil
+	case "reduce":
+		// reduce LOCTYPE visits by F for N
+		locType, err := p.ident("location type")
+		if err != nil {
+			return Action{}, err
+		}
+		if err := p.keyword("visits"); err != nil {
+			return Action{}, err
+		}
+		if err := p.keyword("by"); err != nil {
+			return Action{}, err
+		}
+		f, err := p.number()
+		if err != nil {
+			return Action{}, err
+		}
+		if f < 0 || f > 1 {
+			return Action{}, p.fail("reduce fraction %v outside [0,1]", f)
+		}
+		days, err := p.forDays()
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActReduceVisits, LocType: locType, Fraction: f, Days: days}, nil
+	case "isolate":
+		// isolate STATE for N
+		state, err := p.ident("disease state")
+		if err != nil {
+			return Action{}, err
+		}
+		days, err := p.forDays()
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActIsolate, State: state, Days: days}, nil
+	default:
+		return Action{}, p.fail("unknown action %q", verb)
+	}
+}
+
+func (p *parser) ident(what string) (string, error) {
+	if p.cur.kind != tokIdent {
+		return "", p.fail("expected %s, found %q", what, p.cur.text)
+	}
+	s := p.cur.text
+	return s, p.advance()
+}
+
+func (p *parser) keyword(kw string) error {
+	if p.cur.kind != tokIdent || p.cur.text != kw {
+		return p.fail("expected %q, found %q", kw, p.cur.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) number() (float64, error) {
+	if p.cur.kind != tokNumber {
+		return 0, p.fail("expected number, found %q", p.cur.text)
+	}
+	v, err := strconv.ParseFloat(p.cur.text, 64)
+	if err != nil {
+		return 0, p.fail("bad number %q", p.cur.text)
+	}
+	return v, p.advance()
+}
+
+func (p *parser) forDays() (int, error) {
+	if err := p.keyword("for"); err != nil {
+		return 0, err
+	}
+	v, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v != float64(int(v)) {
+		return 0, p.fail("duration must be a positive whole number of days, got %v", v)
+	}
+	return int(v), nil
+}

@@ -1,0 +1,273 @@
+package interventions
+
+import (
+	"strings"
+	"testing"
+)
+
+const scenarioText = `
+# pandemic course-of-action
+when prevalence(symptomatic) > 0.01 and day >= 5 {
+    close school for 14
+    vaccinate 0.25 of people
+}
+when attackrate > 0.3 or count(symptomatic) > 5000 {
+    reduce shop visits by 0.5 for 21
+    isolate symptomatic for 30
+}
+when day == 60 {
+    close work for 7
+}
+`
+
+func TestParseScenario(t *testing.T) {
+	s, err := Parse(scenarioText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(s.Rules))
+	}
+	if len(s.Rules[0].Actions) != 2 {
+		t.Fatalf("rule 0 actions = %d", len(s.Rules[0].Actions))
+	}
+	a := s.Rules[0].Actions[0]
+	if a.Kind != ActClose || a.LocType != "school" || a.Days != 14 {
+		t.Fatalf("close action = %+v", a)
+	}
+	v := s.Rules[0].Actions[1]
+	if v.Kind != ActVaccinate || v.Fraction != 0.25 {
+		t.Fatalf("vaccinate action = %+v", v)
+	}
+}
+
+func TestRuleFiresOnceAtThreshold(t *testing.T) {
+	s, err := Parse(scenarioText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEffects()
+	env := Env{Day: 3, Population: 100000, Counts: map[string]int{"symptomatic": 2000}}
+	// Day 3: prevalence 2% but day < 5: no fire.
+	if fired := s.Step(env, e); len(fired) != 0 {
+		t.Fatalf("fired too early: %+v", fired)
+	}
+	env.Day = 6
+	fired := s.Step(env, e)
+	if len(fired) != 2 {
+		t.Fatalf("want 2 actions, got %d", len(fired))
+	}
+	if !e.Closed("school") {
+		t.Fatal("schools should be closed")
+	}
+	if e.VaccinateNow != 0.25 {
+		t.Fatalf("vaccinate now = %v", e.VaccinateNow)
+	}
+	// Second step same env: rule must not re-fire.
+	if fired := s.Step(env, e); len(fired) != 0 {
+		t.Fatal("rule fired twice")
+	}
+}
+
+func TestEffectsTickExpiry(t *testing.T) {
+	s, _ := Parse("when day >= 1 { close school for 2 }")
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 10}, e)
+	if !e.Closed("school") {
+		t.Fatal("not closed on day 1")
+	}
+	e.Tick()
+	if !e.Closed("school") {
+		t.Fatal("should still be closed after 1 day")
+	}
+	e.Tick()
+	if e.Closed("school") {
+		t.Fatal("closure should have expired")
+	}
+}
+
+func TestVaccinateNowClearedByTick(t *testing.T) {
+	s, _ := Parse("when day >= 1 { vaccinate 0.5 of people }")
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 10}, e)
+	if e.VaccinateNow != 0.5 {
+		t.Fatal("vaccination order missing")
+	}
+	e.Tick()
+	if e.VaccinateNow != 0 {
+		t.Fatal("vaccination order must be one-day")
+	}
+}
+
+func TestReductionAndIsolation(t *testing.T) {
+	s, err := Parse(scenarioText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEffects()
+	env := Env{Day: 10, Population: 100000,
+		Counts:             map[string]int{"symptomatic": 6000},
+		CumulativeInfected: 10000}
+	s.Step(env, e)
+	if r := e.Reduction("shop"); r != 0.5 {
+		t.Fatalf("shop reduction = %v", r)
+	}
+	if !e.Isolated("symptomatic") {
+		t.Fatal("symptomatic should be isolated")
+	}
+	if e.Reduction("work") != 0 {
+		t.Fatal("work should be unaffected")
+	}
+	for i := 0; i < 21; i++ {
+		e.Tick()
+	}
+	if e.Reduction("shop") != 0 {
+		t.Fatal("reduction should expire after 21 days")
+	}
+	if !e.Isolated("symptomatic") {
+		t.Fatal("isolation lasts 30 days")
+	}
+}
+
+func TestAttackRateCondition(t *testing.T) {
+	s, _ := Parse("when attackrate >= 0.5 { close work for 1 }")
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 100, CumulativeInfected: 49}, e)
+	if e.Closed("work") {
+		t.Fatal("fired below threshold")
+	}
+	s.Step(Env{Day: 2, Population: 100, CumulativeInfected: 50}, e)
+	if !e.Closed("work") {
+		t.Fatal("did not fire at threshold")
+	}
+}
+
+func TestOrCondition(t *testing.T) {
+	s, _ := Parse("when day == 3 or day == 7 { close shop for 1 }")
+	e := NewEffects()
+	s.Step(Env{Day: 7, Population: 1}, e)
+	if !e.Closed("shop") {
+		t.Fatal("or-branch did not fire")
+	}
+}
+
+func TestParenthesizedCondition(t *testing.T) {
+	s, err := Parse("when (day > 5 or day == 2) and population >= 10 { close other for 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEffects()
+	s.Step(Env{Day: 2, Population: 10}, e)
+	if !e.Closed("other") {
+		t.Fatal("parenthesized condition broken")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := Parse("when day >= 1 { close school for 1 }")
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 1}, e)
+	s.Reset()
+	e2 := NewEffects()
+	if fired := s.Step(Env{Day: 1, Population: 1}, e2); len(fired) != 1 {
+		t.Fatal("reset did not re-arm rules")
+	}
+}
+
+func TestMaxDurationWins(t *testing.T) {
+	src := `
+when day == 1 { close school for 5 }
+when day == 2 { close school for 2 }
+`
+	s, _ := Parse(src)
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 1}, e)
+	e.Tick()
+	s.Step(Env{Day: 2, Population: 1}, e)
+	// 4 days remain from the first rule; the 2-day order must not shorten.
+	if e.ClosedFor["school"] != 4 {
+		t.Fatalf("remaining closure = %d, want 4", e.ClosedFor["school"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"no when":            "close school for 5",
+		"empty block":        "when day > 1 { }",
+		"bad fraction":       "when day > 1 { vaccinate 1.5 of people }",
+		"bad duration":       "when day > 1 { close school for 0 }",
+		"fractional days":    "when day > 1 { close school for 1.5 }",
+		"unknown action":     "when day > 1 { explode school for 1 }",
+		"unknown variable":   "when moonphase > 1 { close school for 1 }",
+		"missing operator":   "when day { close school for 1 }",
+		"lone equals":        "when day = 1 { close school for 1 }",
+		"unterminated block": "when day > 1 { close school for 1",
+		"bad character":      "when day > 1 @ { close school for 1 }",
+		"missing of":         "when day > 1 { vaccinate 0.5 people }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := "# top\nwhen day > 1 { # inline\n close school for 1\n}\n# tail"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	s, err := Parse("when prevalence(latent) > 1e-3 { close school for 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEffects()
+	s.Step(Env{Day: 1, Population: 1000, Counts: map[string]int{"latent": 2}}, e)
+	if !e.Closed("school") {
+		t.Fatal("scientific notation threshold broken")
+	}
+}
+
+func TestConditionEvalTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  Env
+		want bool
+	}{
+		{"when day != 4 { close a for 1 }", Env{Day: 4, Population: 1}, false},
+		{"when day != 4 { close a for 1 }", Env{Day: 5, Population: 1}, true},
+		{"when day <= 4 { close a for 1 }", Env{Day: 4, Population: 1}, true},
+		{"when 10 < population { close a for 1 }", Env{Population: 11}, true},
+		{"when count(x) == 0 { close a for 1 }", Env{Population: 1, Counts: map[string]int{}}, true},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		e := NewEffects()
+		fired := s.Step(c.env, e)
+		if (len(fired) > 0) != c.want {
+			t.Errorf("%s with %+v: fired=%v want %v", c.src, c.env, len(fired) > 0, c.want)
+		}
+	}
+}
+
+func TestWhitespaceRobustness(t *testing.T) {
+	src := strings.ReplaceAll(scenarioText, "\n", "\r\n")
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+	oneLine := "when day > 1 { close school for 2 vaccinate 0.1 of people }"
+	s, err := Parse(oneLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules[0].Actions) != 2 {
+		t.Fatal("one-line scenario parsed wrong")
+	}
+}

@@ -1,0 +1,226 @@
+// Package loadbalance implements the dynamic load balancing the paper
+// leaves as future work (Section VII): EpiSimdemics' computation has a
+// non-deterministic portion (health-state changes, interventions) that
+// static partitioning cannot capture, so object loads are *measured* each
+// day (the Charm++ measurement-based framework's "principle of
+// persistence") and objects are migrated when — and only when — the
+// expected gain justifies the migration cost (the Menon et al. [21]
+// policy the paper cites), with an application-specific *predictor* that
+// anticipates tomorrow's location load from today's epidemic state
+// instead of assuming persistence.
+package loadbalance
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/loadmodel"
+)
+
+// Decision is the outcome of one rebalancing pass.
+type Decision struct {
+	// Assign is the new object→rank assignment.
+	Assign []int32
+	// Migrations is how many objects moved.
+	Migrations int
+	// ImbalanceBefore and ImbalanceAfter are max/avg rank load ratios.
+	ImbalanceBefore float64
+	ImbalanceAfter  float64
+}
+
+// GreedyRefine migrates objects from overloaded ranks to the least loaded
+// ranks until the max/avg imbalance reaches target or the migration budget
+// (maxMigrateFrac of all objects) is exhausted. Heaviest-objects-first
+// from the currently most loaded rank: the standard greedy refinement of
+// measurement-based rebalancers. The input assignment is not modified.
+func GreedyRefine(assign []int32, loads []float64, ranks int, target float64, maxMigrateFrac float64) (Decision, error) {
+	n := len(assign)
+	if len(loads) != n {
+		return Decision{}, fmt.Errorf("loadbalance: %d assignments vs %d loads", n, len(loads))
+	}
+	if ranks < 1 {
+		return Decision{}, fmt.Errorf("loadbalance: ranks = %d", ranks)
+	}
+	if target < 1 {
+		target = 1.05
+	}
+	budget := int(maxMigrateFrac * float64(n))
+	if maxMigrateFrac <= 0 {
+		budget = n
+	}
+
+	rankLoad := make([]float64, ranks)
+	var total float64
+	objsOf := make([][]int32, ranks)
+	for obj, r := range assign {
+		if r < 0 || int(r) >= ranks {
+			return Decision{}, fmt.Errorf("loadbalance: object %d on rank %d outside [0,%d)", obj, r, ranks)
+		}
+		rankLoad[r] += loads[obj]
+		total += loads[obj]
+		objsOf[r] = append(objsOf[r], int32(obj))
+	}
+	avg := total / float64(ranks)
+	imbalance := func() float64 {
+		if avg == 0 {
+			return 1
+		}
+		max := 0.0
+		for _, l := range rankLoad {
+			if l > max {
+				max = l
+			}
+		}
+		return max / avg
+	}
+
+	d := Decision{
+		Assign:          append([]int32(nil), assign...),
+		ImbalanceBefore: imbalance(),
+	}
+	// Objects of each rank sorted by load descending so the heaviest
+	// useful object is found quickly.
+	for r := range objsOf {
+		objs := objsOf[r]
+		sort.Slice(objs, func(a, b int) bool { return loads[objs[a]] > loads[objs[b]] })
+	}
+	// Min-heap of rank loads for the destination choice.
+	h := make(rankHeap, ranks)
+	for r := range h {
+		h[r] = rankEntry{load: rankLoad[r], rank: int32(r)}
+	}
+	heap.Init(&h)
+	stale := make(map[int32]float64) // rank → current load (heap may be stale)
+	for r, l := range rankLoad {
+		stale[int32(r)] = l
+	}
+
+	for d.Migrations < budget && imbalance() > target {
+		// Most loaded rank.
+		src := 0
+		for r := 1; r < ranks; r++ {
+			if rankLoad[r] > rankLoad[src] {
+				src = r
+			}
+		}
+		// Heaviest object on src that fits: moving it must not push the
+		// destination above the source's current load (else thrashing).
+		objs := objsOf[src]
+		moved := false
+		for len(objs) > 0 {
+			obj := objs[0]
+			objs = objs[1:]
+			if d.Assign[obj] != int32(src) {
+				continue // already migrated away
+			}
+			l := loads[obj]
+			if l <= 0 {
+				break // the rest are no lighter than zero
+			}
+			// Least loaded rank from the heap (refresh stale entries).
+			var dst rankEntry
+			for {
+				dst = h[0]
+				if cur := rankLoad[dst.rank]; cur != dst.load {
+					h[0].load = cur
+					heap.Fix(&h, 0)
+					continue
+				}
+				break
+			}
+			if int(dst.rank) == src || rankLoad[dst.rank]+l >= rankLoad[src] {
+				continue // no useful destination for this object
+			}
+			d.Assign[obj] = dst.rank
+			rankLoad[src] -= l
+			rankLoad[dst.rank] += l
+			objsOf[dst.rank] = append(objsOf[dst.rank], obj)
+			d.Migrations++
+			moved = true
+			break
+		}
+		objsOf[src] = objs
+		if !moved {
+			break // src cannot shed anything useful
+		}
+	}
+	d.ImbalanceAfter = imbalance()
+	return d, nil
+}
+
+type rankEntry struct {
+	load float64
+	rank int32
+}
+
+type rankHeap []rankEntry
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankEntry)) }
+func (h *rankHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Predictor forecasts tomorrow's per-location load from today's
+// measurements: the application-specific prediction of Section VII ("our
+// plan is to address the dynamism by the application-specific prediction
+// of work load"). The static part (events, from normative schedules) is
+// persistent; the dynamic part (interactions) scales with the epidemic's
+// growth, which the predictor tracks from the daily infectious counts.
+type Predictor struct {
+	// Dynamic is the fitted run-time cost model.
+	Dynamic loadmodel.Dynamic
+	// prevInfectious remembers yesterday's infectious count.
+	prevInfectious float64
+}
+
+// Predict returns per-location load forecasts. events and interactions
+// are today's measurements; infectiousToday the number of currently
+// infectious people (any infectious state).
+func (p *Predictor) Predict(events, interactions []int64, infectiousToday int) []float64 {
+	growth := 1.0
+	if p.prevInfectious > 0 {
+		growth = float64(infectiousToday) / p.prevInfectious
+		// Clamp: a day-over-day explosion beyond 3x is noise at the
+		// per-location level.
+		if growth > 3 {
+			growth = 3
+		}
+		if growth < 1.0/3 {
+			growth = 1.0 / 3
+		}
+	}
+	p.prevInfectious = float64(infectiousToday)
+	out := make([]float64, len(events))
+	for i := range events {
+		// Events persist (schedules are normative); interactions scale
+		// with the epidemic.
+		out[i] = p.Dynamic.Load(float64(events[i]), float64(interactions[i])*growth, 0)
+	}
+	return out
+}
+
+// ShouldRebalance is the cost/benefit trigger of Menon et al. [21]: fire
+// only when the predicted time saved per day exceeds the one-time
+// migration cost amortized over the remaining horizon.
+func ShouldRebalance(imbalance, target float64, gainPerDay, migrationCost float64, daysRemaining int) bool {
+	if imbalance <= target {
+		return false
+	}
+	if daysRemaining <= 0 {
+		return false
+	}
+	return gainPerDay*float64(daysRemaining) > migrationCost
+}

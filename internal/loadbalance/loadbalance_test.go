@@ -1,0 +1,171 @@
+package loadbalance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loadmodel"
+	"repro/internal/xrand"
+)
+
+func TestGreedyRefineImproves(t *testing.T) {
+	// All load on rank 0: refinement must spread it.
+	n, k := 100, 4
+	assign := make([]int32, n)
+	loads := make([]float64, n)
+	for i := range loads {
+		loads[i] = 1
+	}
+	d, err := GreedyRefine(assign, loads, k, 1.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ImbalanceBefore != float64(k) {
+		t.Fatalf("before = %v, want %v", d.ImbalanceBefore, k)
+	}
+	if d.ImbalanceAfter > 1.1 {
+		t.Fatalf("after = %v, want ~1", d.ImbalanceAfter)
+	}
+	if d.Migrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestGreedyRefineRespectsBudget(t *testing.T) {
+	n, k := 1000, 8
+	assign := make([]int32, n)
+	loads := make([]float64, n)
+	for i := range loads {
+		loads[i] = 1
+	}
+	d, err := GreedyRefine(assign, loads, k, 1.0, 0.01) // at most 10 moves
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migrations > 10 {
+		t.Fatalf("budget exceeded: %d migrations", d.Migrations)
+	}
+}
+
+func TestGreedyRefineNoopWhenBalanced(t *testing.T) {
+	n, k := 100, 4
+	assign := make([]int32, n)
+	loads := make([]float64, n)
+	for i := range assign {
+		assign[i] = int32(i % k)
+		loads[i] = 1
+	}
+	d, err := GreedyRefine(assign, loads, k, 1.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migrations != 0 {
+		t.Fatalf("balanced input migrated %d objects", d.Migrations)
+	}
+}
+
+func TestGreedyRefineInputUntouched(t *testing.T) {
+	assign := []int32{0, 0, 0, 0}
+	loads := []float64{1, 1, 1, 1}
+	_, err := GreedyRefine(assign, loads, 2, 1.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatal("input assignment modified")
+		}
+	}
+}
+
+func TestGreedyRefineErrors(t *testing.T) {
+	if _, err := GreedyRefine([]int32{0}, []float64{1, 2}, 2, 1.05, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := GreedyRefine([]int32{0}, []float64{1}, 0, 1.05, 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := GreedyRefine([]int32{5}, []float64{1}, 2, 1.05, 0); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestGreedyRefineNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := xrand.NewStream(seed)
+		n := 20 + s.Intn(200)
+		k := 2 + s.Intn(8)
+		assign := make([]int32, n)
+		loads := make([]float64, n)
+		for i := range assign {
+			assign[i] = int32(s.Intn(k))
+			loads[i] = s.Pareto(1, 1.5) // heavy-tailed, like location loads
+		}
+		d, err := GreedyRefine(assign, loads, k, 1.05, 0)
+		if err != nil {
+			return false
+		}
+		// Conservation: every object still assigned to a valid rank.
+		for _, a := range d.Assign {
+			if a < 0 || int(a) >= k {
+				return false
+			}
+		}
+		return d.ImbalanceAfter <= d.ImbalanceBefore+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRefineHeavyTail(t *testing.T) {
+	// One object dominates: imbalance can only fall to lmax/avg, never
+	// below (no splitting at the balancer level).
+	loads := []float64{100, 1, 1, 1, 1, 1, 1, 1}
+	assign := make([]int32, len(loads))
+	d, err := GreedyRefine(assign, loads, 4, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 107.0 / 4
+	bound := 100 / avg
+	if d.ImbalanceAfter < bound-1e-9 {
+		t.Fatalf("impossible balance %v < %v", d.ImbalanceAfter, bound)
+	}
+}
+
+func TestPredictorGrowthTracking(t *testing.T) {
+	p := &Predictor{Dynamic: loadmodel.Dynamic{C1: 1, C2: 1}}
+	events := []int64{100}
+	inter := []int64{50}
+	// First call: no history, growth 1.
+	out1 := p.Predict(events, inter, 10)
+	if out1[0] != 150 {
+		t.Fatalf("first prediction = %v, want 150", out1[0])
+	}
+	// Infectious doubled: interactions forecast doubles.
+	out2 := p.Predict(events, inter, 20)
+	if out2[0] != 100+50*2 {
+		t.Fatalf("growth prediction = %v, want 200", out2[0])
+	}
+	// Explosion clamped at 3x.
+	out3 := p.Predict(events, inter, 2000)
+	if out3[0] != 100+50*3 {
+		t.Fatalf("clamped prediction = %v, want 250", out3[0])
+	}
+}
+
+func TestShouldRebalance(t *testing.T) {
+	if ShouldRebalance(1.01, 1.05, 10, 1, 100) {
+		t.Fatal("fired below target imbalance")
+	}
+	if !ShouldRebalance(2.0, 1.05, 10, 100, 100) {
+		t.Fatal("did not fire when gain dominates")
+	}
+	if ShouldRebalance(2.0, 1.05, 1, 1000, 10) {
+		t.Fatal("fired when migration cost dominates")
+	}
+	if ShouldRebalance(2.0, 1.05, 10, 1, 0) {
+		t.Fatal("fired with no days remaining")
+	}
+}

@@ -1,0 +1,79 @@
+package machine
+
+// Blue Waters' interconnect is a Cray Gemini 3D torus (the XE6 partition
+// occupied a 23×24×24 torus of Gemini ASICs). This file adds hop-distance
+// pricing: inter-node latency grows with the Manhattan distance on the
+// torus, which is what makes *topology-aware rank mapping* matter — ranks
+// produced by recursive bisection communicate mostly with near ranks, so a
+// contiguous rank→node mapping keeps traffic local on the torus.
+
+// Torus is a 3D torus of nodes.
+type Torus struct {
+	X, Y, Z int
+}
+
+// BlueWatersTorus returns the Gemini torus geometry of the full system.
+func BlueWatersTorus() Torus { return Torus{X: 23, Y: 24, Z: 24} }
+
+// Nodes returns the node capacity of the torus.
+func (t Torus) Nodes() int { return t.X * t.Y * t.Z }
+
+// Coords maps a node index to torus coordinates (plane-major).
+func (t Torus) Coords(node int) (x, y, z int) {
+	if t.X <= 0 || t.Y <= 0 || t.Z <= 0 {
+		return 0, 0, 0
+	}
+	node %= t.Nodes()
+	if node < 0 {
+		node += t.Nodes()
+	}
+	z = node / (t.X * t.Y)
+	rem := node % (t.X * t.Y)
+	y = rem / t.X
+	x = rem % t.X
+	return x, y, z
+}
+
+// HopDistance returns the minimal Manhattan hop count between two nodes,
+// accounting for wraparound links in each dimension.
+func (t Torus) HopDistance(a, b int) int {
+	ax, ay, az := t.Coords(a)
+	bx, by, bz := t.Coords(b)
+	return torusDist(ax, bx, t.X) + torusDist(ay, by, t.Y) + torusDist(az, bz, t.Z)
+}
+
+func torusDist(a, b, dim int) int {
+	if dim <= 1 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := dim - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// MeanHops returns the expected hop distance between two uniformly random
+// nodes — the effective distance of a topology-oblivious mapping.
+func (t Torus) MeanHops() float64 {
+	return meanDim(t.X) + meanDim(t.Y) + meanDim(t.Z)
+}
+
+// meanDim is E|a-b| with wraparound for uniform a,b in [0,dim).
+func meanDim(dim int) float64 {
+	if dim <= 1 {
+		return 0
+	}
+	var sum int
+	for d := 0; d < dim; d++ {
+		dist := d
+		if wrap := dim - d; wrap < dist {
+			dist = wrap
+		}
+		sum += dist
+	}
+	return float64(sum) / float64(dim)
+}

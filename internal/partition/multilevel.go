@@ -1,0 +1,539 @@
+package partition
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Options tunes the multilevel partitioner.
+type Options struct {
+	// Imbalance is the allowed per-constraint overweight ε: each part may
+	// weigh up to (1+ε)·target. This is METIS's load balance constraint
+	// knob, "the tolerable variance in the sum of vertex weights per
+	// partition" (Section III-A). Default 0.10.
+	Imbalance float64
+	// Seed makes partitioning deterministic. Default 1.
+	Seed uint64
+	// CoarsestSize stops coarsening when the graph is this small.
+	// Default 120 vertices.
+	CoarsestSize int
+	// InitTries is the number of greedy-growing attempts for the initial
+	// bisection of the coarsest graph. Default 4.
+	InitTries int
+	// MaxPasses bounds FM refinement passes per level. Default 6.
+	MaxPasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CoarsestSize <= 0 {
+		o.CoarsestSize = 120
+	}
+	if o.InitTries <= 0 {
+		o.InitTries = 4
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 6
+	}
+	return o
+}
+
+// Multilevel partitions g into k parts by multilevel recursive bisection:
+// heavy-edge-matching coarsening, greedy graph growing on the coarsest
+// graph, and boundary Fiduccia–Mattheyses refinement during uncoarsening —
+// the METIS algorithm family the paper uses, including multi-constraint
+// balance (every component of the vertex weight vectors is balanced
+// independently).
+func Multilevel(g *graph.Graph, k int, opt Options) *Partitioning {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	p := &Partitioning{K: k, Assign: make([]int32, n)}
+	if k <= 1 || n == 0 {
+		if k < 1 {
+			p.K = 1
+		}
+		return p
+	}
+
+	// Recursive bisection compounds imbalance multiplicatively across
+	// levels; divide the user's ε budget so the final k-way imbalance
+	// lands near the requested tolerance.
+	levels := 1
+	for 1<<levels < k {
+		levels++
+	}
+	perLevel := opt.Imbalance / float64(levels)
+	if perLevel < 0.02 {
+		perLevel = 0.02
+	}
+	opt.Imbalance = perLevel
+
+	type job struct {
+		sub   *graph.Graph
+		verts []int32 // sub vertex -> original vertex; nil = identity
+		k     int
+		base  int32
+	}
+	stack := []job{{sub: g, k: k, base: 0}}
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if j.k == 1 || j.sub.NumVertices() == 0 {
+			for v := 0; v < j.sub.NumVertices(); v++ {
+				p.Assign[origID(j.verts, v)] = j.base
+			}
+			continue
+		}
+		k1 := j.k / 2
+		f := float64(k1) / float64(j.k)
+		seed := xrand.Hash(opt.Seed, uint64(j.base), uint64(j.k))
+		side := bisect(j.sub, f, opt, seed)
+
+		var v0, v1 []int32
+		for v := 0; v < j.sub.NumVertices(); v++ {
+			if side[v] == 0 {
+				v0 = append(v0, int32(v))
+			} else {
+				v1 = append(v1, int32(v))
+			}
+		}
+		mk := func(sel []int32) ([]int32, *graph.Graph) {
+			sub, _ := j.sub.InducedSubgraph(sel)
+			m := make([]int32, len(sel))
+			for i, sv := range sel {
+				m[i] = origID(j.verts, int(sv))
+			}
+			return m, sub
+		}
+		m0, s0 := mk(v0)
+		m1, s1 := mk(v1)
+		stack = append(stack,
+			job{sub: s0, verts: m0, k: k1, base: j.base},
+			job{sub: s1, verts: m1, k: j.k - k1, base: j.base + int32(k1)},
+		)
+	}
+	return p
+}
+
+func origID(verts []int32, v int) int32 {
+	if verts == nil {
+		return int32(v)
+	}
+	return verts[v]
+}
+
+// bisect splits g into sides 0/1 where side 0 targets fraction f of every
+// constraint total.
+func bisect(g *graph.Graph, f float64, opt Options, seed uint64) []int8 {
+	s := xrand.NewStream(seed)
+	// Coarsening phase.
+	graphs := []*graph.Graph{g}
+	var cmaps [][]int32
+	for graphs[len(graphs)-1].NumVertices() > opt.CoarsestSize {
+		cur := graphs[len(graphs)-1]
+		cmap, coarse := contract(cur, s)
+		if coarse.NumVertices() > cur.NumVertices()*95/100 {
+			break // matching stalled (e.g. star graphs); stop coarsening
+		}
+		graphs = append(graphs, coarse)
+		cmaps = append(cmaps, cmap)
+	}
+
+	// Initial bisection on the coarsest graph.
+	coarsest := graphs[len(graphs)-1]
+	side := initialBisect(coarsest, f, opt, s)
+	refine2way(coarsest, side, f, opt)
+
+	// Uncoarsen with refinement at every level.
+	for lvl := len(graphs) - 2; lvl >= 0; lvl-- {
+		fine := graphs[lvl]
+		cmap := cmaps[lvl]
+		fineSide := make([]int8, fine.NumVertices())
+		for v := range fineSide {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		refine2way(fine, side, f, opt)
+	}
+	return side
+}
+
+// contract performs one level of heavy-edge matching coarsening. It
+// returns the fine→coarse vertex map and the coarse graph.
+func contract(g *graph.Graph, s *xrand.Stream) ([]int32, *graph.Graph) {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := s.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		nbrs, ws := g.Neighbors(int(v))
+		best := int32(-1)
+		var bestW int64 = -1
+		for i, u := range nbrs {
+			if match[u] < 0 && ws[i] > bestW {
+				best, bestW = u, ws[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var numCoarse int32
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = numCoarse
+		if m := match[v]; m != int32(v) {
+			cmap[m] = numCoarse
+		}
+		numCoarse++
+	}
+	b := graph.NewBuilder(int(numCoarse), g.NumConstraints())
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		for c := 0; c < g.NumConstraints(); c++ {
+			b.AddVertexWeight(int(cv), c, g.VertexWeight(v, c))
+		}
+		nbrs, ws := g.Neighbors(v)
+		for i, u := range nbrs {
+			if int(u) <= v {
+				continue // each fine edge once
+			}
+			cu := cmap[u]
+			if cu != cv {
+				b.AddEdge(int(cv), int(cu), ws[i])
+			}
+		}
+	}
+	return cmap, b.Build()
+}
+
+// initialBisect seeds side 0 by greedy graph growing: grow a region from a
+// random vertex, always absorbing the frontier vertex most connected to the
+// region, until side 0 holds fraction f of the (normalized) weight. The
+// best of opt.InitTries attempts by edge cut wins.
+func initialBisect(g *graph.Graph, f float64, opt Options, s *xrand.Stream) []int8 {
+	n := g.NumVertices()
+	nCon := g.NumConstraints()
+	totals := make([]int64, nCon)
+	for c := 0; c < nCon; c++ {
+		totals[c] = g.TotalVertexWeight(c)
+	}
+	normTarget := f
+
+	var bestSide []int8
+	bestCut := int64(math.MaxInt64)
+	for try := 0; try < opt.InitTries; try++ {
+		side := make([]int8, n)
+		for i := range side {
+			side[i] = 1
+		}
+		grown := make([]int64, nCon)
+		normLoad := func() float64 {
+			var sum float64
+			var cnt int
+			for c := 0; c < nCon; c++ {
+				if totals[c] > 0 {
+					sum += float64(grown[c]) / float64(totals[c])
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				return 1
+			}
+			return sum / float64(cnt)
+		}
+		// overCap reports whether absorbing v would push any constraint
+		// beyond its share of side 0 (with the ε slack) — the growing loop
+		// must respect every constraint, not just their average.
+		overCap := func(v int32) bool {
+			vw := g.VertexWeights(int(v))
+			for c := 0; c < nCon; c++ {
+				if totals[c] == 0 {
+					continue
+				}
+				cap := int64((f + opt.Imbalance) * float64(totals[c]))
+				if grown[c]+vw[c] > cap {
+					return true
+				}
+			}
+			return false
+		}
+		// conn[v]: edge weight from v into the region; frontier keyed by it.
+		conn := make([]int64, n)
+		h := &gainHeap{}
+		inRegion := make([]bool, n)
+		add := func(v int32) {
+			inRegion[v] = true
+			side[v] = 0
+			vw := g.VertexWeights(int(v))
+			for c := 0; c < nCon; c++ {
+				grown[c] += vw[c]
+			}
+			nbrs, ws := g.Neighbors(int(v))
+			for i, u := range nbrs {
+				if !inRegion[u] {
+					conn[u] += ws[i]
+					heap.Push(h, gainEntry{gain: conn[u], v: u})
+				}
+			}
+		}
+		add(int32(s.Intn(n)))
+		for normLoad() < normTarget {
+			var next int32 = -1
+			for h.Len() > 0 {
+				e := heap.Pop(h).(gainEntry)
+				if inRegion[e.v] || conn[e.v] != e.gain {
+					continue // stale
+				}
+				if overCap(e.v) {
+					continue // caps only tighten; v stays infeasible
+				}
+				next = e.v
+				break
+			}
+			if next < 0 {
+				// Frontier exhausted (disconnected graph or every frontier
+				// vertex capped out): pick any feasible vertex, else stop.
+				var candidates []int32
+				for v := 0; v < n; v++ {
+					if !inRegion[v] && !overCap(int32(v)) {
+						candidates = append(candidates, int32(v))
+					}
+				}
+				if len(candidates) == 0 {
+					break
+				}
+				next = candidates[s.Intn(len(candidates))]
+			}
+			add(next)
+		}
+		cut := cutWeight(g, side)
+		if cut < bestCut {
+			bestCut = cut
+			bestSide = side
+		}
+	}
+	return bestSide
+}
+
+func cutWeight(g *graph.Graph, side []int8) int64 {
+	var cut int64
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs, ws := g.Neighbors(v)
+		for i, u := range nbrs {
+			if int(u) > v && side[u] != side[v] {
+				cut += ws[i]
+			}
+		}
+	}
+	return cut
+}
+
+type gainEntry struct {
+	gain int64
+	v    int32
+}
+
+// gainHeap is a max-heap on gain.
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refine2way improves a bisection by boundary FM passes: repeatedly move
+// the boundary vertex with the best gain (cut reduction) whose move keeps
+// the destination within its multi-constraint capacity; each vertex moves
+// at most once per pass. Moves out of an overweight side are allowed even
+// at negative gain, which is what repairs balance violations left by
+// projection from a coarser level.
+func refine2way(g *graph.Graph, side []int8, f float64, opt Options) {
+	n := g.NumVertices()
+	if n < 2 {
+		return
+	}
+	nCon := g.NumConstraints()
+	totals := make([]int64, nCon)
+	for c := 0; c < nCon; c++ {
+		totals[c] = g.TotalVertexWeight(c)
+	}
+	cap0 := make([]int64, nCon)
+	cap1 := make([]int64, nCon)
+	for c := 0; c < nCon; c++ {
+		cap0[c] = int64((1 + opt.Imbalance) * f * float64(totals[c]))
+		cap1[c] = int64((1 + opt.Imbalance) * (1 - f) * float64(totals[c]))
+	}
+	partW := [2][]int64{make([]int64, nCon), make([]int64, nCon)}
+	counts := [2]int{}
+	for v := 0; v < n; v++ {
+		vw := g.VertexWeights(v)
+		sd := side[v]
+		for c := 0; c < nCon; c++ {
+			partW[sd][c] += vw[c]
+		}
+		counts[sd]++
+	}
+	caps := [2][]int64{cap0, cap1}
+
+	gain := make([]int64, n)
+	computeGain := func(v int) int64 {
+		var ed, id int64
+		nbrs, ws := g.Neighbors(v)
+		for i, u := range nbrs {
+			if side[u] == side[v] {
+				id += ws[i]
+			} else {
+				ed += ws[i]
+			}
+		}
+		return ed - id
+	}
+
+	overweight := func(sd int8) bool {
+		for c := 0; c < nCon; c++ {
+			if partW[sd][c] > caps[sd][c] {
+				return true
+			}
+		}
+		return false
+	}
+	// violationDelta returns the (normalized) change in total cap
+	// violation if a vertex with weights vw moves src→dst: negative means
+	// the move repairs balance.
+	violationDelta := func(src, dst int8, vw []int64) float64 {
+		var delta float64
+		for c := 0; c < nCon; c++ {
+			if totals[c] == 0 {
+				continue
+			}
+			over := func(w, cap int64) float64 {
+				if w > cap {
+					return float64(w-cap) / float64(totals[c])
+				}
+				return 0
+			}
+			before := over(partW[src][c], caps[src][c]) + over(partW[dst][c], caps[dst][c])
+			after := over(partW[src][c]-vw[c], caps[src][c]) + over(partW[dst][c]+vw[c], caps[dst][c])
+			delta += after - before
+		}
+		return delta
+	}
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		h := &gainHeap{}
+		moved := make([]bool, n)
+		for v := 0; v < n; v++ {
+			gain[v] = computeGain(v)
+			if gain[v] > -1<<62 && isBoundary(g, side, v) {
+				heap.Push(h, gainEntry{gain: gain[v], v: int32(v)})
+			}
+		}
+		var passGain int64
+		var passRepair float64
+		movesMade := 0
+		for h.Len() > 0 {
+			e := heap.Pop(h).(gainEntry)
+			v := int(e.v)
+			if moved[v] || e.gain != gain[v] {
+				continue // stale entry
+			}
+			src := side[v]
+			dst := 1 - src
+			vw := g.VertexWeights(v)
+			if counts[src] <= 1 {
+				continue
+			}
+			delta := violationDelta(src, dst, vw)
+			// Accept cut-improving moves that do not hurt balance, and
+			// balance-repairing moves at any gain (this is what fixes the
+			// violations projection leaves behind).
+			if !(delta < 0 || (gain[v] > 0 && delta <= 0)) {
+				if gain[v] < 0 && !overweight(src) && !overweight(dst) {
+					// Heap is gain-ordered and balance is already fine:
+					// nothing below can help.
+					break
+				}
+				continue
+			}
+			passRepair -= delta
+			// Apply the move.
+			side[v] = dst
+			moved[v] = true
+			movesMade++
+			passGain += gain[v]
+			counts[src]--
+			counts[dst]++
+			for c := 0; c < nCon; c++ {
+				partW[src][c] -= vw[c]
+				partW[dst][c] += vw[c]
+			}
+			gain[v] = -gain[v]
+			nbrs, ws := g.Neighbors(v)
+			for i, u := range nbrs {
+				if moved[u] {
+					continue
+				}
+				if side[u] == dst {
+					gain[u] -= 2 * ws[i]
+				} else {
+					gain[u] += 2 * ws[i]
+				}
+				heap.Push(h, gainEntry{gain: gain[u], v: u})
+			}
+		}
+		if movesMade == 0 {
+			break
+		}
+		if passGain <= 0 && passRepair <= 0 {
+			break
+		}
+	}
+}
+
+func isBoundary(g *graph.Graph, side []int8, v int) bool {
+	nbrs, _ := g.Neighbors(v)
+	for _, u := range nbrs {
+		if side[u] != side[v] {
+			return true
+		}
+	}
+	// Isolated or interior vertices still participate: balance moves may
+	// need them (an isolated vertex can move anywhere for free).
+	return len(nbrs) == 0
+}

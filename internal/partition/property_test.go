@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestEvaluateConservationProperty: partition quality metrics must
+// conserve mass — part weights sum to graph totals, cuts bounded by total
+// edge weight, per-partition max cut at least the average.
+func TestEvaluateConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := xrand.NewStream(seed)
+		n := 10 + s.Intn(80)
+		m := n + s.Intn(4*n)
+		k := 1 + s.Intn(9)
+		g := randomGraph(seed, n, m, 5)
+		var p *Partitioning
+		switch seed % 3 {
+		case 0:
+			p = RoundRobin(n, k)
+		case 1:
+			loads := make([]int64, n)
+			for v := range loads {
+				loads[v] = g.VertexWeight(v, 0)
+			}
+			p = LPT(loads, k)
+		default:
+			p = Multilevel(g, k, Options{Seed: seed})
+		}
+		q := Evaluate(g, p)
+		var sum int64
+		for _, pw := range q.PartWeights {
+			sum += pw[0]
+		}
+		if sum != q.TotalWeights[0] || sum != g.TotalVertexWeight(0) {
+			return false
+		}
+		if q.EdgeCut < 0 || q.EdgeCut > q.TotalEdgeWeight {
+			return false
+		}
+		if q.K > 1 && q.EdgeCut > 0 && q.MaxPartCut < q.EdgeCut/int64(q.K) {
+			return false
+		}
+		// S_ub is at most K and at least 1 for a non-empty graph.
+		sub := q.SpeedupUpperBound(0)
+		return sub >= 1-1e-9 && sub <= float64(k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultilevelAssignsEveryVertexOnce is the fundamental partitioning
+// contract under random graphs and part counts.
+func TestMultilevelAssignsEveryVertexOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := xrand.NewStream(seed ^ 0xbeef)
+		n := 5 + s.Intn(120)
+		k := 1 + s.Intn(12)
+		g := randomGraph(seed, n, 3*n, 3)
+		p := Multilevel(g, k, Options{Seed: seed})
+		if len(p.Assign) != n || p.K != k {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultilevelImbalanceBudget: the requested ε must be roughly honored
+// on divisible workloads (unit weights, k | n).
+func TestMultilevelImbalanceBudget(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		g := randomGraph(11, 256, 1024, 1)
+		// Unit weights: perfectly divisible.
+		for v := 0; v < g.NumVertices(); v++ {
+			g.SetVertexWeight(v, 0, 1)
+		}
+		p := Multilevel(g, k, Options{Seed: 5, Imbalance: 0.10})
+		q := Evaluate(g, p)
+		if q.MaxOverAvg[0] > 1.25 {
+			t.Fatalf("k=%d: imbalance %v exceeds budget", k, q.MaxOverAvg[0])
+		}
+	}
+}

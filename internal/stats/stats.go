@@ -1,0 +1,327 @@
+// Package stats provides the statistical utilities the reproduction relies
+// on: summary statistics, log-binned histograms and CCDFs (the paper plots
+// degree and load distributions this way in Figures 3 and 7), power-law
+// tail exponent estimation, and linear least-squares fitting used by the
+// workload model of Section III-A.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments and extremes of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Sum    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// SummarizeInts is Summarize for integer samples.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// CCDFPoint is one point of a complementary cumulative distribution
+// function: the fraction (and count) of samples with value >= X.
+type CCDFPoint struct {
+	X     float64
+	Count int     // samples with value >= X
+	Frac  float64 // Count / N
+}
+
+// CCDF returns the complementary CDF of xs evaluated at each distinct
+// sample value, in increasing order of X. This is the standard way to
+// visualize heavy-tailed distributions (straight line in log-log space for
+// a power law), used by Figures 3(c,d) and 7.
+func CCDF(xs []float64) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	var pts []CCDFPoint
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		pts = append(pts, CCDFPoint{
+			X:     sorted[i],
+			Count: n - i,
+			Frac:  float64(n-i) / float64(n),
+		})
+		i = j
+	}
+	return pts
+}
+
+// LogBin is one bin of a logarithmically binned histogram.
+type LogBin struct {
+	Lo, Hi float64 // [Lo, Hi)
+	Count  int
+}
+
+// LogHistogram bins positive samples into bins whose edges grow by the
+// given factor (>1), starting at the smallest positive sample. Non-positive
+// samples are dropped. The paper's distribution plots use log-scale bins.
+func LogHistogram(xs []float64, factor float64) []LogBin {
+	if factor <= 1 {
+		panic("stats: LogHistogram factor must be > 1")
+	}
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Float64s(pos)
+	lo := pos[0]
+	max := pos[len(pos)-1]
+	var bins []LogBin
+	for lo <= max {
+		hi := lo * factor
+		bins = append(bins, LogBin{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	for _, x := range pos {
+		idx := int(math.Log(x/bins[0].Lo) / math.Log(factor))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bins) {
+			idx = len(bins) - 1
+		}
+		// Guard against floating point rounding at bin edges.
+		for idx > 0 && x < bins[idx].Lo {
+			idx--
+		}
+		for idx < len(bins)-1 && x >= bins[idx].Hi {
+			idx++
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// PowerLawAlpha estimates the tail exponent alpha of a power-law
+// distribution p(x) ~ x^-alpha for samples x >= xmin, using the standard
+// continuous maximum-likelihood (Hill) estimator:
+//
+//	alpha = 1 + n / sum(ln(x_i/xmin))
+//
+// Samples below xmin are ignored. Returns 0 if fewer than two samples
+// qualify.
+func PowerLawAlpha(xs []float64, xmin float64) float64 {
+	if xmin <= 0 {
+		return 0
+	}
+	var n int
+	var sum float64
+	for _, x := range xs {
+		if x >= xmin {
+			n++
+			sum += math.Log(x / xmin)
+		}
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// LinearFit holds the coefficients of y = A + B*x.
+type LinearFit struct {
+	A, B float64
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.A + f.B*x }
+
+// FitLinear computes the ordinary least squares line through (xs, ys).
+// It panics if the slices differ in length and returns a degenerate fit
+// (A = mean(ys), B = 0) when the xs have no variance.
+func FitLinear(xs, ys []float64) LinearFit {
+	return FitLinearWeighted(xs, ys, nil)
+}
+
+// FitLinearWeighted computes the weighted least squares line through
+// (xs, ys) with non-negative weights ws (nil means uniform). Weighting by
+// 1/y turns the objective into relative error, which is how the load model
+// is fitted (small locations matter as much as huge ones).
+func FitLinearWeighted(xs, ys, ws []float64) LinearFit {
+	if len(xs) != len(ys) || (ws != nil && len(ws) != len(xs)) {
+		panic(fmt.Sprintf("stats: FitLinearWeighted length mismatch %d/%d/%d", len(xs), len(ys), len(ws)))
+	}
+	if len(xs) == 0 {
+		return LinearFit{}
+	}
+	weight := func(i int) float64 {
+		if ws == nil {
+			return 1
+		}
+		return ws[i]
+	}
+	var sw, sx, sy float64
+	for i := range xs {
+		w := weight(i)
+		sw += w
+		sx += w * xs[i]
+		sy += w * ys[i]
+	}
+	if sw == 0 {
+		return LinearFit{}
+	}
+	mx, my := sx/sw, sy/sw
+	var sxx, sxy float64
+	for i := range xs {
+		w := weight(i)
+		dx := xs[i] - mx
+		sxx += w * dx * dx
+		sxy += w * dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{A: my}
+	}
+	b := sxy / sxx
+	return LinearFit{A: my - b*mx, B: b}
+}
+
+// MeanRelativeError returns mean(|pred-obs| / max(|obs|, eps)) — the error
+// metric the paper reports for the load model ("5% error on average").
+func MeanRelativeError(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic("stats: MeanRelativeError length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	var sum float64
+	for i := range pred {
+		den := math.Abs(obs[i])
+		if den < eps {
+			den = eps
+		}
+		sum += math.Abs(pred[i]-obs[i]) / den
+	}
+	return sum / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of predictions pred against
+// observations obs. Returns 1 for a perfect fit; can be negative for fits
+// worse than the mean.
+func R2(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic("stats: R2 length mismatch")
+	}
+	if len(obs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, y := range obs {
+		mean += y
+	}
+	mean /= float64(len(obs))
+	var ssRes, ssTot float64
+	for i := range obs {
+		d := obs[i] - pred[i]
+		ssRes += d * d
+		t := obs[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Gini returns the Gini coefficient of non-negative sample xs: 0 for a
+// perfectly even distribution, approaching 1 for extreme concentration.
+// Used as a scalar measure of load imbalance in tests and reports.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// MaxOverAvg returns max(xs)/mean(xs), the load-imbalance ratio the paper
+// quotes for Figure 2 (1.67 vs 2.08). Returns 0 for empty or zero-sum xs.
+func MaxOverAvg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(xs)))
+}

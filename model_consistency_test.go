@@ -1,0 +1,77 @@
+package episim_test
+
+import (
+	"math"
+	"testing"
+
+	episim "repro"
+)
+
+// TestModelMatchesRuntimeCounters validates the machine-model pipeline
+// against the real runtime: the cross-rank visit-message count that
+// ModelDayTime computes from the placement must equal what the charm
+// runtime actually sends on a day with no behavioral changes, and the
+// aggregated wire count must match the runtime's aggregator. This ties
+// Figure 13's modeled curves to measured execution.
+func TestModelMatchesRuntimeCounters(t *testing.T) {
+	pop := episim.Generate("consistency", 6000, 1500, 3)
+	pl, err := episim.BuildPlacement(pop, episim.PlacementOptions{
+		Strategy: episim.GP, Ranks: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Runtime truth: day 1 (normative schedules, no interventions).
+	res, err := episim.Run(pl, episim.SimConfig{
+		Days: 1, Seed: 3, InitialInfections: 1, AggBufferSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := res.Days[0]
+	// Chare-level visit messages = all visits; remote ones cross ranks.
+	if day.PersonPhase.Messages != int64(pl.Pop.NumVisits()) {
+		t.Fatalf("runtime sent %d visit messages, want %d",
+			day.PersonPhase.Messages, pl.Pop.NumVisits())
+	}
+	var runtimeRemote int64
+	runtimeRemote = day.PersonPhase.Messages - day.PersonPhase.ByLocality[0]
+
+	// Model truth: count cross-rank visits from the placement directly.
+	var modelRemote, modelWire int64
+	pairs := map[[2]int32]int64{}
+	for _, v := range pl.Pop.Visits {
+		src, dst := pl.PersonRank[v.Person], pl.LocationRank[v.Loc]
+		if src != dst {
+			modelRemote++
+			pairs[[2]int32{src, dst}]++
+		}
+	}
+	for _, c := range pairs {
+		modelWire += (c + 63) / 64
+	}
+	if runtimeRemote != modelRemote {
+		t.Fatalf("remote visit messages: runtime %d vs model %d", runtimeRemote, modelRemote)
+	}
+	if day.PersonPhase.WireMessages != modelWire {
+		t.Fatalf("wire messages: runtime %d vs model %d",
+			day.PersonPhase.WireMessages, modelWire)
+	}
+
+	// And ModelDayTime's person-phase compute must equal the closed form.
+	opt := episim.DefaultPerfOptions()
+	cost := episim.ModelDayTime(pl, opt)
+	var maxRankVisits int64
+	perRank := make([]int64, pl.Ranks)
+	for _, v := range pl.Pop.Visits {
+		perRank[pl.PersonRank[v.Person]]++
+	}
+	for _, c := range perRank {
+		if c > maxRankVisits {
+			maxRankVisits = c
+		}
+	}
+	wantCompute := float64(maxRankVisits) * opt.PersonSecPerVisit
+	if math.Abs(cost.Person.Compute-wantCompute)/wantCompute > 0.01 {
+		t.Fatalf("person-phase compute %v, want %v", cost.Person.Compute, wantCompute)
+	}
+}
