@@ -280,6 +280,43 @@ func BenchmarkAblationRoute2D(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepPlacementCache measures the ensemble executor: a
+// 2-placement × 2-scenario × 4-replicate sweep where the content-keyed
+// cache builds each placement once and shares it across the 8 runs that
+// use it. The reported metric is simulations per placement build — the
+// sweep subsystem's headline amortization.
+func BenchmarkSweepPlacementCache(b *testing.B) {
+	spec := func() *episim.SweepSpec {
+		return &episim.SweepSpec{
+			Populations: []episim.SweepPopulation{{Name: "bench", People: 20000, Locations: 5000}},
+			Placements: []episim.SweepPlacement{
+				{Strategy: "RR", Ranks: 8},
+				{Strategy: "GP", SplitLoc: true, Ranks: 8},
+			},
+			Scenarios: []episim.SweepScenario{
+				{Name: "baseline"},
+				{Name: "closure", Text: "when day >= 5 { close school for 14 }"},
+			},
+			Replicates:        4,
+			Days:              10,
+			Seed:              1,
+			InitialInfections: 20,
+			AggBufferSize:     64,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := episim.RunSweep(spec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.PlacementBuilds) != 2 {
+			b.Fatalf("placement builds = %d, want 2", len(res.PlacementBuilds))
+		}
+		b.ReportMetric(float64(res.Simulations)/float64(len(res.PlacementBuilds)), "sims/build")
+	}
+}
+
 // BenchmarkAblationSyncMode compares CD vs QD sync pricing across scales.
 func BenchmarkAblationSyncMode(b *testing.B) {
 	cfg := machine.BlueWatersXE6()

@@ -4,20 +4,26 @@
 //
 //	episim -state IA -scale 1000 -days 120 -ranks 64 -strategy GP -splitloc
 //	episim -state WY -scale 200 -scenario scenario.txt -out curve.csv
+//	episim -state IA -scale 1000 -json - | jq .attack_rate
 //
 // It prints per-day epidemic and messaging statistics, and optionally the
-// modeled Blue Waters time per day.
+// modeled Blue Waters time per day. With -json the full Result (epidemic
+// curve, final counts, per-day phase statistics) is emitted as
+// machine-readable JSON; "-json -" sends it to stdout and moves the
+// human-readable report to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	episim "repro"
 	"repro/internal/disease"
+	"repro/internal/ensemble"
 )
 
 func main() {
@@ -38,18 +44,25 @@ func main() {
 		scenarioF = flag.String("scenario", "", "intervention DSL file")
 		model     = flag.Bool("model-time", false, "also print modeled Blue Waters time per day")
 		curveOut  = flag.String("out", "", "write day,newinfections CSV to this file")
+		jsonOut   = flag.String("json", "", "write the full Result as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "episim:", err)
 		os.Exit(1)
 	}
+	// With -json - the machine-readable result owns stdout; the
+	// human-readable report moves to stderr.
+	report := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		report = os.Stderr
+	}
 
 	pop, err := episim.GenerateState(*state, *scale, *seed)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("population %s 1:%d — %d persons, %d locations, %d daily visits\n",
+	fmt.Fprintf(report, "population %s 1:%d — %d persons, %d locations, %d daily visits\n",
 		*state, *scale, pop.NumPersons(), pop.NumLocations(), pop.NumVisits())
 
 	var strat episim.Strategy
@@ -67,16 +80,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("placement %s over %d ranks", pl.Label, pl.Ranks)
+	fmt.Fprintf(report, "placement %s over %d ranks", pl.Label, pl.Ranks)
 	if pl.SplitStats != nil {
-		fmt.Printf(" (split %d heavy locations into %d)",
+		fmt.Fprintf(report, " (split %d heavy locations into %d)",
 			pl.SplitStats.NumSplit, pl.SplitStats.NumFragments)
 	}
 	if pl.Quality != nil {
-		fmt.Printf(" edge-cut=%d maxload/avg=%.2f/%.2f",
+		fmt.Fprintf(report, " edge-cut=%d maxload/avg=%.2f/%.2f",
 			pl.Quality.EdgeCut, pl.Quality.MaxOverAvg[0], pl.Quality.MaxOverAvg[1])
 	}
-	fmt.Println()
+	fmt.Fprintln(report)
 
 	cfg := episim.SimConfig{
 		Days: *days, Seed: *seed, InitialInfections: *seeds,
@@ -116,22 +129,22 @@ func main() {
 			peak, peakDay = d.NewInfections, d.Day
 		}
 	}
-	fmt.Printf("simulated %d days in %v (%.1f ms/day wall clock)\n",
+	fmt.Fprintf(report, "simulated %d days in %v (%.1f ms/day wall clock)\n",
 		len(res.Days), elapsed.Round(time.Millisecond),
 		float64(elapsed.Milliseconds())/float64(len(res.Days)))
-	fmt.Printf("total infections %d (attack rate %.1f%%), peak %d new infections on day %d\n",
+	fmt.Fprintf(report, "total infections %d (attack rate %.1f%%), peak %d new infections on day %d\n",
 		res.TotalInfections, res.AttackRate*100, peak, peakDay)
 	var msgs, wire int64
 	for _, d := range res.Days {
 		msgs += d.PersonPhase.Messages + d.LocationPhase.Messages
 		wire += d.PersonPhase.WireMessages + d.LocationPhase.WireMessages
 	}
-	fmt.Printf("messages: %d chare-level, %d wire (aggregation factor %.1f)\n",
+	fmt.Fprintf(report, "messages: %d chare-level, %d wire (aggregation factor %.1f)\n",
 		msgs, wire, float64(msgs)/float64(max64(wire, 1)))
 
 	if *model {
 		cost := episim.ModelDayTime(pl, episim.DefaultPerfOptions())
-		fmt.Printf("modeled Blue Waters time/day at %d ranks: %.4f s (person %.4f, location %.4f)\n",
+		fmt.Fprintf(report, "modeled Blue Waters time/day at %d ranks: %.4f s (person %.4f, location %.4f)\n",
 			pl.Ranks, cost.Total, cost.Person.Total, cost.Location.Total)
 	}
 	if *curveOut != "" {
@@ -146,7 +159,25 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("epidemic curve written to %s\n", *curveOut)
+		fmt.Fprintf(report, "epidemic curve written to %s\n", *curveOut)
+	}
+	if *jsonOut == "-" {
+		if err := ensemble.EncodeResult(os.Stdout, res); err != nil {
+			fail(err)
+		}
+	} else if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := ensemble.EncodeResult(f, res); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(report, "result JSON written to %s\n", *jsonOut)
 	}
 }
 

@@ -1,0 +1,59 @@
+package ensemble
+
+import "sync"
+
+// buildCache is a content-keyed build-once cache with singleflight
+// semantics: the first caller of a key runs the build while concurrent
+// callers of the same key block until it finishes, then share the value
+// read-only. It also counts actual build invocations per key, which is
+// how tests (and the emitted SweepResult) prove that each unique
+// population and placement was constructed exactly once.
+type buildCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	counts  map[string]int
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when val/err are set
+	val   any
+	err   error
+}
+
+func newBuildCache() *buildCache {
+	return &buildCache{entries: map[string]*cacheEntry{}, counts: map[string]int{}}
+}
+
+// get returns the cached value for key, running build exactly once per
+// key across all goroutines. A failed build is cached too: every caller
+// of the key observes the same error rather than retrying an input that
+// cannot succeed.
+func (c *buildCache) get(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.counts[key]++
+	c.mu.Unlock()
+
+	e.val, e.err = build()
+	close(e.ready)
+	return e.val, e.err
+}
+
+// builds reports how many times each key's build function actually ran —
+// 1 per unique key when the cache works, more if sharing ever broke.
+func (c *buildCache) builds() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.counts))
+	for k, n := range c.counts {
+		out[k] = n
+	}
+	return out
+}

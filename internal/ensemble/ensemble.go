@@ -1,0 +1,194 @@
+package ensemble
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/disease"
+	"repro/internal/synthpop"
+)
+
+// Job is one unit of executor work: a single replicate of a single cell.
+type Job struct {
+	Cell      Cell
+	Replicate int
+	// Seed is the replicate's content-derived simulation seed.
+	Seed uint64
+	// Model is the cell's resolved disease model, shared read-only.
+	Model *disease.Model
+	// Spec points at the sweep being executed (Days, AggBufferSize, ...).
+	Spec *Spec
+}
+
+// Hooks are the three engine operations the sweep needs, injected by the
+// root package (an import there would be a cycle). Implementations must
+// be safe for concurrent use; placements returned by BuildPlacement are
+// shared read-only across every replicate and scenario that uses them.
+type Hooks struct {
+	// GeneratePopulation synthesizes the population for a spec (seed is
+	// the already-resolved generation seed).
+	GeneratePopulation func(PopulationSpec, uint64) (*synthpop.Population, error)
+	// BuildPlacement distributes a population over ranks. The returned
+	// handle is passed back to Simulate verbatim.
+	BuildPlacement func(*synthpop.Population, PlacementSpec, uint64) (any, error)
+	// Simulate runs one replicate on a cached placement.
+	Simulate func(placement any, job Job) (*core.Result, error)
+}
+
+// SweepResult is a completed sweep: one aggregated CellResult per grid
+// cell (in grid order), plus cache accounting proving build reuse.
+type SweepResult struct {
+	Spec  *Spec        `json:"spec"`
+	Cells []CellResult `json:"cells"`
+	// PopulationBuilds and PlacementBuilds count how many times each
+	// unique content key was actually generated/partitioned — exactly 1
+	// per key when the cache is doing its job.
+	PopulationBuilds map[string]int `json:"population_builds"`
+	PlacementBuilds  map[string]int `json:"placement_builds"`
+	// Simulations is the total number of replicate runs executed.
+	Simulations int `json:"simulations"`
+}
+
+// Run executes the sweep: normalize and validate the spec, enumerate the
+// grid, then drive (cell, replicate) jobs through a bounded worker pool.
+// Unique populations and placements are built once via the content-keyed
+// cache; each replicate streams into its cell's aggregator. The output
+// is byte-identical for any Workers value because aggregation slots are
+// addressed by replicate index, never by completion order.
+func Run(spec *Spec, hooks Hooks) (*SweepResult, error) {
+	if hooks.GeneratePopulation == nil || hooks.BuildPlacement == nil || hooks.Simulate == nil {
+		return nil, fmt.Errorf("ensemble: incomplete hooks")
+	}
+	// Work on a private copy: Normalize fills defaults, and the result
+	// embeds the spec — neither should touch the caller's struct.
+	spec = spec.clone()
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Cells()
+
+	// Resolve each model once; replicates share it read-only.
+	models := make([]*disease.Model, len(spec.Models))
+	for i, m := range spec.Models {
+		model, err := m.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		models[i] = model
+	}
+
+	popCache := newBuildCache()
+	plCache := newBuildCache()
+	aggs := make([]*aggregator, len(cells))
+	for i := range aggs {
+		aggs[i] = newAggregator(spec.Replicates)
+	}
+
+	type job struct {
+		cellIdx   int
+		replicate int
+	}
+	jobs := make(chan job)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+		failed   = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(failed)
+		})
+	}
+
+	runJob := func(j job) error {
+		cell := cells[j.cellIdx]
+		popKey := cell.Population.Key(spec.Seed)
+		popSeed := cell.Population.Seed
+		if popSeed == 0 {
+			popSeed = spec.Seed
+		}
+		popAny, err := popCache.get(popKey, func() (any, error) {
+			return hooks.GeneratePopulation(cell.Population, popSeed)
+		})
+		if err != nil {
+			return fmt.Errorf("ensemble: population %s: %w", cell.Population.Label(), err)
+		}
+		pop := popAny.(*synthpop.Population)
+
+		plKey := cell.Placement.Key(popKey)
+		pl, err := plCache.get(plKey, func() (any, error) {
+			return hooks.BuildPlacement(pop, cell.Placement, popSeed)
+		})
+		if err != nil {
+			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
+		}
+
+		res, err := hooks.Simulate(pl, Job{
+			Cell:      cell,
+			Replicate: j.replicate,
+			Seed:      cell.ReplicateSeed(spec.Seed, j.replicate),
+			Model:     models[cell.modelIdx],
+			Spec:      spec,
+		})
+		if err != nil {
+			return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
+		}
+		aggs[j.cellIdx].add(j.replicate, res)
+		return nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := runJob(j); err != nil {
+					fail(err)
+					// Keep draining so the producer never blocks.
+				}
+			}
+		}()
+	}
+
+feed:
+	for ci := range cells {
+		for r := 0; r < spec.Replicates; r++ {
+			select {
+			case jobs <- job{cellIdx: ci, replicate: r}:
+			case <-failed:
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// The result embeds the (already private) spec for provenance, minus
+	// Workers: concurrency affects execution time, never results, and the
+	// emitted JSON must be byte-identical across worker counts.
+	spec.Workers = 0
+	out := &SweepResult{
+		Spec:             spec,
+		Cells:            make([]CellResult, len(cells)),
+		PopulationBuilds: popCache.builds(),
+		PlacementBuilds:  plCache.builds(),
+		Simulations:      len(cells) * spec.Replicates,
+	}
+	for i, cell := range cells {
+		out.Cells[i] = aggs[i].finalize(cell, spec.Quantiles, spec.Confidence)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestQuantileTable(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{"min", 0, 1},
+		{"max", 1, 4},
+		{"median", 0.5, 2.5},
+		{"p25", 0.25, 1.75},
+		{"p75", 0.75, 3.25},
+		{"p10", 0.1, 1.3},
+		{"p90", 0.9, 3.7},
+		{"clamped-low", -0.5, 1},
+		{"clamped-high", 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(xs, tc.q); !almost(got, tc.want, 1e-12) {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileDegenerate(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty sample should return 0")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("single sample should return itself at any q")
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	s := xrand.NewStream(11)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = s.NormFloat64()
+	}
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	got := Quantiles(xs, qs)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Fatalf("Quantiles[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+	// Quantiles must not mutate the input.
+	if xs[0] == math.Inf(1) {
+		t.Fatal("input mutated")
+	}
+	if len(Quantiles(nil, qs)) != len(qs) {
+		t.Fatal("empty sample should return zero-filled slice")
+	}
+}
+
+func TestNormalQuantileTable(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.95, 1.644854},
+		{0.9, 1.281552},
+		{0.995, 2.575829},
+		{0.001, -3.090232},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); !almost(got, tc.want, 1e-5) {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("tails should be infinite")
+	}
+}
+
+func TestMeanCITable(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs         []float64
+		confidence float64
+		mean, half float64 // expected mean and CI half-width
+	}{
+		// std = 1.290994 (n-1), half = 1.959964*std/sqrt(4)
+		{"95pct", []float64{1, 2, 3, 4}, 0.95, 2.5, 1.959964 * 1.2909944487358056 / 2},
+		{"90pct", []float64{1, 2, 3, 4}, 0.90, 2.5, 1.644854 * 1.2909944487358056 / 2},
+		{"default-conf", []float64{1, 2, 3, 4}, 0, 2.5, 1.959964 * 1.2909944487358056 / 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ci := MeanCI(tc.xs, tc.confidence)
+			if !almost(ci.Mean, tc.mean, 1e-9) {
+				t.Fatalf("mean = %v, want %v", ci.Mean, tc.mean)
+			}
+			if !almost(ci.Hi-ci.Mean, tc.half, 1e-5) || !almost(ci.Mean-ci.Lo, tc.half, 1e-5) {
+				t.Fatalf("interval [%v, %v], want half-width %v", ci.Lo, ci.Hi, tc.half)
+			}
+		})
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	if ci := MeanCI(nil, 0.95); ci.N != 0 || ci.Mean != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Fatalf("empty CI = %+v", ci)
+	}
+	ci := MeanCI([]float64{3}, 0.95)
+	if ci.Mean != 3 || ci.Lo != 3 || ci.Hi != 3 {
+		t.Fatalf("single-sample CI should degenerate to the mean, got %+v", ci)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// ~95% of intervals from N(0,1) samples should cover the true mean 0.
+	s := xrand.NewStream(5)
+	const trials, n = 400, 30
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.NormFloat64()
+		}
+		ci := MeanCI(xs, 0.95)
+		if ci.Lo <= 0 && 0 <= ci.Hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("coverage %.3f outside [0.90, 0.99]", frac)
+	}
+}

@@ -1,0 +1,39 @@
+# 2009 H1N1 pandemic influenza: shorter latency than seasonal flu, a
+# vaccinated treatment (late-arriving campaign) and an antiviral course
+# that mostly cuts infectivity.
+model h1n1-2009
+transmissibility 3.4e-5
+treatment vaccinated susceptibility 0.2 infectivity 0.5
+treatment antiviral susceptibility 0.7 infectivity 0.4
+
+state susceptible
+  susceptibility 1.0
+  dwell forever
+
+state latent
+  dwell uniform 1 2
+  next infectious 1.0
+
+state infectious
+  infectivity 1.0
+  dwell fixed 1
+  next symptomatic 0.55
+  next asymptomatic 0.45
+  next[vaccinated] symptomatic 0.2
+  next[vaccinated] asymptomatic 0.8
+
+state symptomatic
+  infectivity 1.4
+  dwell uniform 4 7
+  next recovered 1.0
+
+state asymptomatic
+  infectivity 0.6
+  dwell geometric 2 2
+  next recovered 1.0
+
+state recovered
+  dwell forever
+
+entry susceptible
+infect latent

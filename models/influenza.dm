@@ -1,0 +1,38 @@
+# Seasonal influenza-like illness: the ILI model the experiments use,
+# shipped as a file so runs can tweak it without recompiling.
+# susceptible -> latent -> infectious -> {symptomatic | asymptomatic} -> recovered
+model influenza
+transmissibility 2.8e-5
+treatment vaccinated susceptibility 0.3 infectivity 0.5
+
+state susceptible
+  susceptibility 1.0
+  dwell forever
+
+state latent
+  dwell uniform 1 3
+  next infectious 1.0
+
+state infectious
+  infectivity 1.0
+  dwell fixed 1
+  next symptomatic 0.66
+  next asymptomatic 0.34
+  next[vaccinated] symptomatic 0.25
+  next[vaccinated] asymptomatic 0.75
+
+state symptomatic
+  infectivity 1.5
+  dwell uniform 3 6
+  next recovered 1.0
+
+state asymptomatic
+  infectivity 0.5
+  dwell uniform 2 4
+  next recovered 1.0
+
+state recovered
+  dwell forever
+
+entry susceptible
+infect latent

@@ -1,0 +1,33 @@
+# Smallpox PTTS: the long 7-17 day incubation delays the epidemic peak
+# well past influenza's, which is what the course-of-action analyses of
+# the paper's introduction exploit (time to react).
+model smallpox
+transmissibility 1.2e-5
+
+state susceptible
+  susceptibility 1.0
+  dwell forever
+
+state incubating
+  dwell uniform 7 17
+  next prodromal 1.0
+
+state prodromal
+  infectivity 0.3
+  dwell uniform 2 4
+  next rash 1.0
+
+state rash
+  infectivity 1.8
+  dwell uniform 5 9
+  next recovered 0.7
+  next dead 0.3
+
+state recovered
+  dwell forever
+
+state dead
+  dwell forever
+
+entry susceptible
+infect incubating

@@ -1,0 +1,79 @@
+package episim
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ensemble"
+	"repro/internal/synthpop"
+)
+
+// Re-exported sweep types: a SweepSpec declares grids over populations,
+// placements, disease models and intervention scenarios with N seeded
+// replicates per cell; RunSweep executes it and returns per-cell
+// mean/quantile epidemic curves and attack-rate confidence intervals.
+type (
+	// SweepSpec is a declarative scenario sweep.
+	SweepSpec = ensemble.Spec
+	// SweepResult is a completed sweep with per-cell aggregates and
+	// cache-reuse accounting.
+	SweepResult = ensemble.SweepResult
+	// SweepCellResult is the aggregate of one sweep cell.
+	SweepCellResult = ensemble.CellResult
+	// SweepPopulation, SweepPlacement, SweepModel and SweepScenario are
+	// the axes of the sweep grid.
+	SweepPopulation = ensemble.PopulationSpec
+	SweepPlacement  = ensemble.PlacementSpec
+	SweepModel      = ensemble.ModelSpec
+	SweepScenario   = ensemble.ScenarioSpec
+)
+
+// ParseSweepSpec decodes and validates a SweepSpec from JSON.
+func ParseSweepSpec(r io.Reader) (*SweepSpec, error) { return ensemble.ParseSpec(r) }
+
+// RunSweep executes a scenario sweep over the grid the spec declares,
+// with a bounded worker pool (spec.Workers) and a content-keyed cache
+// that generates and partitions each unique (population, placement) pair
+// exactly once — BuildPlacement dominates single-run wall time, so an
+// R-replicate, S-scenario sweep reuses each placement R×S times. Results
+// stream into per-cell aggregates; the output is byte-identical for any
+// worker count.
+func RunSweep(spec *SweepSpec) (*SweepResult, error) {
+	return ensemble.Run(spec, ensemble.Hooks{
+		GeneratePopulation: func(ps ensemble.PopulationSpec, seed uint64) (*synthpop.Population, error) {
+			if ps.State != "" {
+				return synthpop.GenerateState(ps.State, ps.Scale, seed)
+			}
+			return synthpop.Generate(synthpop.DefaultConfig(ps.Name, ps.People, ps.Locations, seed)), nil
+		},
+		BuildPlacement: func(pop *synthpop.Population, ps ensemble.PlacementSpec, seed uint64) (any, error) {
+			strat := RR
+			if strings.ToUpper(ps.Strategy) == "GP" {
+				strat = GP
+			}
+			return BuildPlacement(pop, PlacementOptions{
+				Strategy:  strat,
+				SplitLoc:  ps.SplitLoc,
+				Ranks:     ps.Ranks,
+				Seed:      seed,
+				Imbalance: ps.Imbalance,
+			})
+		},
+		Simulate: func(pl any, job ensemble.Job) (*core.Result, error) {
+			// The scenario text is re-parsed per run on purpose: a parsed
+			// interventions.Scenario carries mutable rule-fired state, so
+			// concurrent replicates cannot share one instance, and the
+			// parse is microseconds against a multi-ms simulation.
+			return Run(pl.(*Placement), SimConfig{
+				Days:              job.Spec.Days,
+				Seed:              job.Seed,
+				InitialInfections: job.Spec.InitialInfections,
+				Model:             job.Model,
+				Scenario:          job.Cell.Scenario.Text,
+				AggBufferSize:     job.Spec.AggBufferSize,
+				Mixing:            job.Spec.Mixing,
+			})
+		},
+	})
+}
