@@ -1,0 +1,288 @@
+// Package client is the Go client for the episimd sweep service: submit
+// declarative SweepSpecs, watch their status, stream per-cell aggregates
+// as they finalize (SSE), fetch full results and cancel runs.
+//
+// The wire types in this package (JobStatus, Event, ...) are the
+// service's HTTP contract; episimd's handlers marshal exactly these
+// structs, so the two sides cannot drift.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	episim "repro"
+)
+
+// JobState is the lifecycle state of a submitted sweep.
+type JobState string
+
+// Sweep job lifecycle: Queued → Running → one of Done / Failed /
+// Canceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is one sweep job's snapshot.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Error summarizes the failure when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Cells and Replicates are the sweep's grid shape; CellsDone counts
+	// finalized cells (streamed or failed) so far.
+	Cells      int `json:"cells"`
+	CellsDone  int `json:"cells_done"`
+	Replicates int `json:"replicates"`
+
+	Created time.Time `json:"created"`
+	// Started and Finished are nil until the job reaches those states
+	// (omitempty cannot elide a zero time.Time, a pointer can).
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// SubmitReply acknowledges a submission.
+type SubmitReply struct {
+	ID          string `json:"id"`
+	Cells       int    `json:"cells"`
+	Simulations int    `json:"simulations"`
+}
+
+// Event is one message of a sweep's event stream, delivered over SSE or
+// NDJSON. Cell events carry the finalized aggregate; terminal events
+// ("done", "error", "canceled") carry the job's final status and end the
+// stream.
+type Event struct {
+	Seq  int                     `json:"seq"`
+	Type string                  `json:"type"` // "cell", "done", "error", "canceled"
+	Cell *episim.SweepCellResult `json:"cell,omitempty"`
+	Job  *JobStatus              `json:"job,omitempty"`
+}
+
+// StatsReply is the daemon's /v1/stats snapshot.
+type StatsReply struct {
+	UptimeSec    float64 `json:"uptime_sec"`
+	QueueDepth   int     `json:"queue_depth"`
+	ActiveSweeps int     `json:"active_sweeps"`
+
+	SweepsTotal    int `json:"sweeps_total"`
+	SweepsDone     int `json:"sweeps_done"`
+	SweepsFailed   int `json:"sweeps_failed"`
+	SweepsCanceled int `json:"sweeps_canceled"`
+
+	CellsStreamed int64   `json:"cells_streamed"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+
+	PopulationCache episim.SweepCacheStats `json:"population_cache"`
+	PlacementCache  episim.SweepCacheStats `json:"placement_cache"`
+}
+
+// Client talks to one episimd instance.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8321".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Streams run as long as
+	// the sweep does, so it must not set a global Timeout.
+	HTTPClient *http.Client
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON reply into out (nil = discard).
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx reply into an error carrying the server's
+// message.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return fmt.Errorf("episimd: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+}
+
+// Submit enqueues a sweep and returns its acknowledgment.
+func (c *Client) Submit(ctx context.Context, spec *episim.SweepSpec) (SubmitReply, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+		return SubmitReply{}, err
+	}
+	var ack SubmitReply
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", &buf, &ack)
+	return ack, err
+}
+
+// Status fetches one job's snapshot.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job the daemon knows, oldest first.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var jobs []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &jobs)
+	return jobs, err
+}
+
+// Cancel asks the daemon to stop a queued or running sweep.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/cancel", nil, nil)
+}
+
+// Result fetches a finished sweep's full aggregate (partial when some
+// cells failed). The daemon replies 409 while the sweep is still
+// queued/running (retry later) and 410 when a canceled or failed run
+// produced no aggregate at all (permanent).
+func (c *Client) Result(ctx context.Context, id string) (*episim.SweepResult, error) {
+	var res episim.SweepResult
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats fetches the daemon's service metrics.
+func (c *Client) Stats(ctx context.Context) (StatsReply, error) {
+	var st StatsReply
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Stream subscribes to a sweep's event stream from sequence number
+// `from` (0 replays everything already finalized, then continues live)
+// and invokes fn for every event until a terminal event arrives, fn
+// returns an error, or ctx is canceled. The daemon drops subscribers
+// that fall too far behind; Stream reconnects losslessly from the last
+// seen sequence number (every event is retained server-side), giving up
+// only after repeated ends with no progress.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(Event) error) error {
+	stalls := 0
+	for {
+		last, terminal, err := c.streamOnce(ctx, id, from, fn)
+		if err != nil || terminal {
+			return err
+		}
+		if last >= from {
+			from = last + 1
+			stalls = 0
+			continue
+		}
+		stalls++
+		if stalls >= 3 {
+			return fmt.Errorf("episimd: event stream for %s ended early", id)
+		}
+	}
+}
+
+// streamOnce runs a single stream connection, reporting the last
+// sequence number delivered to fn (from-1 when none) and whether a
+// terminal event ended the stream. A connection that ends without a
+// terminal event (slow-subscriber drop, proxy cut) returns a nil error
+// so Stream can resume.
+func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(Event) error) (last int, terminal bool, err error) {
+	last = from - 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/sweeps/"+id+"/events?from="+strconv.Itoa(from), nil)
+	if err != nil {
+		return last, false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return last, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return last, false, decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data strings.Builder
+	dispatch := func() (bool, error) {
+		if data.Len() == 0 {
+			return false, nil
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+			return false, fmt.Errorf("episimd: bad stream event: %w", err)
+		}
+		data.Reset()
+		if err := fn(ev); err != nil {
+			return false, err
+		}
+		last = ev.Seq
+		return ev.Type != "cell", nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			terminal, err := dispatch()
+			if err != nil || terminal {
+				return last, terminal, err
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			// id: and event: lines are redundant with the payload's Seq/Type.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, false, err
+	}
+	return last, false, nil // ended without a terminal event: resumable
+}

@@ -1,0 +1,75 @@
+// Command episimd is the streaming sweep service: a long-running daemon
+// that accepts declarative SweepSpec submissions over HTTP, executes
+// them on a shared bounded worker pool with a process-lifetime placement
+// cache, and streams per-cell aggregates (SSE or NDJSON) the moment each
+// cell finalizes.
+//
+// Usage:
+//
+//	episimd -addr :8321 -workers 16 -max-active 4 -cache-mb 2048
+//
+// Then, from any HTTP client:
+//
+//	sweep -example | curl -s -d @- localhost:8321/v1/sweeps
+//	curl -N localhost:8321/v1/sweeps/sw-000001/events
+//	curl -s localhost:8321/v1/stats
+//
+// SIGINT/SIGTERM drain gracefully: running sweeps are canceled, open
+// event streams receive their terminal event, and the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		workers   = flag.Int("workers", 0, "shared worker-slot pool across all sweeps (0 = GOMAXPROCS)")
+		maxActive = flag.Int("max-active", 2, "sweeps executing concurrently; the rest queue")
+		cacheMB   = flag.Int64("cache-mb", 4096, "LRU bound on the shared population+placement cache, MiB (0 = unbounded)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		MaxActive:  *maxActive,
+		CacheBytes: *cacheMB << 20,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "episimd: listening on %s (workers=%d max-active=%d cache=%dMiB)\n",
+		*addr, *workers, *maxActive, *cacheMB)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "episimd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "episimd: shutting down")
+		srv.Close() // cancel running sweeps, flush terminal events
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "episimd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

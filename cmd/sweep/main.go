@@ -13,13 +13,22 @@
 //
 // Exactly one simulation grid is read from -spec; -out/-summary/-curves
 // select the emitters ("-" means stdout). Progress goes to stderr.
+//
+// Ctrl-C cancels the sweep promptly (in-flight replicates finish, no new
+// ones start) and exits 130. When some cells fail, sweep still emits the
+// partial aggregates (failed cells carry an "error" field), prints a
+// per-cell error summary to stderr, and exits 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	episim "repro"
@@ -71,10 +80,29 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sweep: %d cells × %d replicates = %d simulations\n",
 		len(cells), spec.Replicates, len(cells)*spec.Replicates)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := episim.RunSweep(spec)
+	res, err := episim.RunSweepContext(ctx, spec, nil)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweep: canceled")
+		os.Exit(130)
+	}
+	exitCode := 0
 	if err != nil {
-		fail(err)
+		if res == nil {
+			fail(err)
+		}
+		// Partial result: some cells failed. Summarize them, emit what
+		// completed, and flag the run with a non-zero exit.
+		exitCode = 1
+		fmt.Fprintln(os.Stderr, "sweep: FAILED cells:")
+		for _, c := range res.Cells {
+			if c.Error != "" {
+				fmt.Fprintf(os.Stderr, "sweep:   cell %d (%s): %s\n", c.Index, c.Label, c.Error)
+			}
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%d unique placements built)\n",
@@ -107,6 +135,10 @@ func main() {
 	emit(*outJSON, res.WriteJSON)
 	emit(*summary, res.WriteSummaryCSV)
 	emit(*curves, res.WriteCurvesCSV)
+	if exitCode != 0 {
+		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells (partial aggregates emitted)")
+		os.Exit(exitCode)
+	}
 }
 
 // exampleSpec is the template -example prints: a small but complete

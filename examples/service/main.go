@@ -1,0 +1,113 @@
+// Example service boots an in-process episimd, then drives it through
+// the Go client package the way an external consumer would over the
+// network: submit two sweeps that share a placement (one build, proven
+// by the cache accounting), stream the first sweep's per-cell aggregates
+// as they finalize, then read the daemon's service metrics.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	episim "repro"
+	"repro/client"
+	"repro/internal/server"
+)
+
+func main() {
+	// Boot the daemon on a loopback port; in production this is
+	// `episimd -addr :8321` in its own process.
+	core := server.New(server.Config{Workers: 8, MaxActive: 2})
+	defer core.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: core.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("episimd listening on", base)
+
+	c := client.New(base)
+	ctx := context.Background()
+
+	// Two submissions over the same (population, placement): the daemon's
+	// process-lifetime cache builds the placement once and both sweeps
+	// share it.
+	spec := func(scenario string) *episim.SweepSpec {
+		s := &episim.SweepSpec{
+			Populations: []episim.SweepPopulation{{State: "WY", Scale: 600}},
+			Placements:  []episim.SweepPlacement{{Strategy: "GP", SplitLoc: true, Ranks: 8}},
+			Scenarios: []episim.SweepScenario{
+				{Name: "baseline"},
+				{Name: scenario,
+					Text: "when prevalence(symptomatic) > 0.005 and day >= 3 { close school for 14 }"},
+			},
+			Replicates:        4,
+			Days:              40,
+			Seed:              7,
+			InitialInfections: 5,
+			AggBufferSize:     64,
+		}
+		s.Normalize()
+		return s
+	}
+	ack1, err := c.Submit(ctx, spec("close-early"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ack2, err := c.Submit(ctx, spec("close-late"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%d cells) and %s (%d cells)\n",
+		ack1.ID, ack1.Cells, ack2.ID, ack2.Cells)
+
+	// Stream the first sweep: cells arrive the moment they finalize,
+	// not when the whole grid completes.
+	err = c.Stream(ctx, ack1.ID, 0, func(ev client.Event) error {
+		switch ev.Type {
+		case "cell":
+			fmt.Printf("  cell %d %-40s attack=%.4f peak@day %.0f\n",
+				ev.Cell.Index, ev.Cell.Label, ev.Cell.AttackRate.Mean, ev.Cell.PeakDay.Mean)
+		default:
+			fmt.Printf("  stream %s: %d/%d cells\n", ev.Type, ev.Job.CellsDone, ev.Job.Cells)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for the second sweep too (its terminal event ends the
+	// stream), then pull both results and prove the single shared build.
+	_ = c.Stream(ctx, ack2.ID, 0, func(client.Event) error { return nil })
+
+	builds := 0
+	for _, id := range []string{ack1.ID, ack2.ID} {
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range res.PlacementBuilds {
+			builds += n
+		}
+	}
+	fmt.Printf("placement builds across both sweeps: %d (cache shared one build)\n", builds)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon stats: %d sweeps, %d cells streamed (%.1f cells/sec), placement cache %d hits / %d misses\n",
+		stats.SweepsTotal, stats.CellsStreamed, stats.CellsPerSec,
+		stats.PlacementCache.Hits, stats.PlacementCache.Misses)
+}

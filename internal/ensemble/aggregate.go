@@ -30,6 +30,9 @@ func distOf(xs []float64, qs []float64, confidence float64) Dist {
 
 // CellResult is the aggregated outcome of one sweep cell.
 type CellResult struct {
+	// Index is the cell's position in the spec's grid order; streaming
+	// consumers use it to slot results arriving in completion order.
+	Index      int    `json:"index"`
 	Label      string `json:"label"`
 	Population string `json:"population"`
 	Placement  string `json:"placement"`
@@ -37,6 +40,10 @@ type CellResult struct {
 	Scenario   string `json:"scenario"`
 	Replicates int    `json:"replicates"`
 	Days       int    `json:"days"`
+	// Error is set (and the aggregates below left empty) when the cell
+	// failed: any replicate's population build, placement build or
+	// simulation returned an error.
+	Error string `json:"error,omitempty"`
 
 	AttackRate      Dist `json:"attack_rate"`
 	PeakDay         Dist `json:"peak_day"`
@@ -127,6 +134,7 @@ func (a *aggregator) finalize(cell Cell, qs []float64, confidence float64) CellR
 		}
 	}
 	return CellResult{
+		Index:      cell.Index,
 		Label:      cell.Label(),
 		Population: cell.Population.Label(),
 		Placement:  cell.Placement.Label(),

@@ -1,59 +1,178 @@
 package ensemble
 
-import "sync"
+import (
+	"container/list"
+	"context"
+	"sync"
+)
 
-// buildCache is a content-keyed build-once cache with singleflight
-// semantics: the first caller of a key runs the build while concurrent
-// callers of the same key block until it finishes, then share the value
-// read-only. It also counts actual build invocations per key, which is
-// how tests (and the emitted SweepResult) prove that each unique
-// population and placement was constructed exactly once.
-type buildCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	counts  map[string]int
+// Cache is a content-keyed build-once cache designed to outlive a single
+// sweep: the server keeps one per process so placements built for one
+// request are reused by every later request with the same content key.
+//
+// It combines three mechanisms:
+//
+//   - singleflight: the first caller of a key runs the build while
+//     concurrent callers of the same key block until it finishes, then
+//     share the value read-only — this is what lets two simultaneous
+//     sweep submissions share one placement build;
+//   - an LRU byte bound: completed entries are charged their sized bytes
+//     and evicted least-recently-used once MaxBytes is exceeded (0 means
+//     unbounded), so a long-running daemon cannot grow without limit;
+//   - accounting: hits, misses, builds and evictions are counted, which
+//     is how tests (and the /v1/stats endpoint) prove sharing works.
+//
+// Failed builds are NOT retained: waiters in flight observe the error,
+// then the key is forgotten so a later request may retry — a transient
+// failure must not poison a process-lifetime cache.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	sizer    func(any) int64
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recent; completed entries only
+	bytes    int64
+
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
+	key   string
 	ready chan struct{} // closed when val/err are set
 	val   any
 	err   error
+	bytes int64
+	elem  *list.Element // nil while building or after eviction
 }
 
-func newBuildCache() *buildCache {
-	return &buildCache{entries: map[string]*cacheEntry{}, counts: map[string]int{}}
-}
-
-// get returns the cached value for key, running build exactly once per
-// key across all goroutines. A failed build is cached too: every caller
-// of the key observes the same error rather than retrying an input that
-// cannot succeed.
-func (c *buildCache) get(key string, build func() (any, error)) (any, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if ok {
-		c.mu.Unlock()
-		<-e.ready
-		return e.val, e.err
+// NewCache builds a cache bounded to maxBytes (0 = unbounded) with sizer
+// charging each completed value (nil = every entry costs 1, turning the
+// bound into a max entry count).
+func NewCache(maxBytes int64, sizer func(any) int64) *Cache {
+	if sizer == nil {
+		sizer = func(any) int64 { return 1 }
 	}
-	e = &cacheEntry{ready: make(chan struct{})}
+	return &Cache{
+		maxBytes: maxBytes,
+		sizer:    sizer,
+		entries:  map[string]*cacheEntry{},
+		lru:      list.New(),
+	}
+}
+
+// newBuildCache is the private per-run flavor: unbounded, entry-counted.
+func newBuildCache() *Cache { return NewCache(0, nil) }
+
+// get returns the cached value for key, running build at most once per
+// key across all goroutines (and, for a shared cache, across all sweeps
+// in the process). The second return reports whether THIS call ran the
+// build — the per-run accounting in SweepResult sums it, so "one build
+// across two concurrent requests" is provable. Waiting on another
+// caller's in-flight build respects ctx; the build itself always runs to
+// completion because other requests may be waiting on it.
+func (c *Cache) get(ctx context.Context, key string, build func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.val, false, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
-	c.counts[key]++
+	c.misses++
 	c.mu.Unlock()
 
 	e.val, e.err = build()
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Forget failed builds: waiters holding e still see the error,
+		// but the next get of this key retries.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+	} else {
+		e.bytes = c.sizer(e.val)
+		e.elem = c.lru.PushFront(e)
+		c.bytes += e.bytes
+		c.evict()
+	}
+	c.mu.Unlock()
 	close(e.ready)
-	return e.val, e.err
+	return e.val, true, e.err
 }
 
-// builds reports how many times each key's build function actually ran —
-// 1 per unique key when the cache works, more if sharing ever broke.
-func (c *buildCache) builds() map[string]int {
+// Peek returns the completed value for key without affecting recency or
+// counting a hit — the cost predictor uses it to price cells whose
+// placement already exists without perturbing eviction order.
+func (c *Cache) Peek(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.counts))
-	for k, n := range c.counts {
-		out[k] = n
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
 	}
-	return out
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false // still building
+	}
+}
+
+// evict drops least-recently-used completed entries until the byte bound
+// holds. Callers hold c.mu. Values evicted while a sweep still uses them
+// stay alive through the sweep's own reference; eviction only forgets
+// the cache's copy.
+func (c *Cache) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		c.bytes -= e.bytes
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's accounting.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
 }

@@ -22,7 +22,9 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 }
 
 // WriteSummaryCSV emits one row per cell with the headline scalars:
-// attack-rate mean and confidence interval, peak day and height.
+// attack-rate mean and confidence interval, peak day and height. Failed
+// cells are skipped — an all-zero row would be indistinguishable from a
+// genuine zero-outbreak result; the JSON emitter carries their errors.
 func (r *SweepResult) WriteSummaryCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
 		"population,placement,model,scenario,replicates,"+
@@ -31,6 +33,9 @@ func (r *SweepResult) WriteSummaryCSV(w io.Writer) error {
 		return err
 	}
 	for _, c := range r.Cells {
+		if c.Error != "" {
+			continue
+		}
 		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%s,%s,%s,%s,%s,%s\n",
 			csvField(c.Population), csvField(c.Placement), csvField(c.Model), csvField(c.Scenario),
 			c.Replicates,
@@ -45,7 +50,8 @@ func (r *SweepResult) WriteSummaryCSV(w io.Writer) error {
 
 // WriteCurvesCSV emits the per-day aggregate epidemic curves in long
 // form: one row per (cell, day) with the mean and each requested
-// quantile as its own column (q10, q50, q90, ...).
+// quantile as its own column (q10, q50, q90, ...). Failed cells have no
+// curves and are skipped (their Days is 0).
 func (r *SweepResult) WriteCurvesCSV(w io.Writer) error {
 	header := "population,placement,model,scenario,day,mean"
 	for _, q := range r.Spec.Quantiles {

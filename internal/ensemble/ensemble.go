@@ -1,9 +1,12 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/disease"
@@ -37,29 +40,115 @@ type Hooks struct {
 	Simulate func(placement any, job Job) (*core.Result, error)
 }
 
+// RunOptions are the service-grade extensions to a sweep run. The zero
+// value (or a nil pointer) reproduces the one-shot behavior: private
+// caches, no streaming, grid-order dispatch, a private worker pool.
+type RunOptions struct {
+	// PopulationCache and PlacementCache, when non-nil, replace the
+	// run-private build caches — the server passes process-lifetime
+	// caches here so placements are shared across requests.
+	PopulationCache *Cache
+	PlacementCache  *Cache
+	// OnCell is invoked the moment a cell finalizes — when its last
+	// replicate lands, or immediately on its first error (Error set,
+	// aggregates empty) — which is what lets a server stream aggregates
+	// while the rest of the grid is still running. Called concurrently
+	// from worker goroutines; implementations must be safe for
+	// concurrent use and should return quickly.
+	OnCell func(CellResult)
+	// PredictCost, when non-nil, prices a cell before dispatch; jobs are
+	// fed to the worker pool most-expensive-cell-first (stable on ties),
+	// the classic longest-processing-time heuristic that cuts makespan
+	// on wide grids with skewed cell sizes. The spec argument is the
+	// normalized private copy (defaults resolved).
+	PredictCost func(Cell, *Spec) float64
+	// Slots, when non-nil, gates every job on a shared slot pool so
+	// several concurrent sweeps are bounded together; each run still
+	// spawns its own Workers goroutines but only min(Workers, free
+	// slots) make progress at once.
+	Slots *Slots
+}
+
 // SweepResult is a completed sweep: one aggregated CellResult per grid
 // cell (in grid order), plus cache accounting proving build reuse.
 type SweepResult struct {
 	Spec  *Spec        `json:"spec"`
 	Cells []CellResult `json:"cells"`
-	// PopulationBuilds and PlacementBuilds count how many times each
-	// unique content key was actually generated/partitioned — exactly 1
-	// per key when the cache is doing its job.
+	// PopulationBuilds and PlacementBuilds count, per content key this
+	// run requested, how many times the run actually generated or
+	// partitioned it — exactly 1 per key for a fresh cache, 0 when a
+	// shared cache already held it (so summing across concurrent
+	// requests proves a single build).
 	PopulationBuilds map[string]int `json:"population_builds"`
 	PlacementBuilds  map[string]int `json:"placement_builds"`
 	// Simulations is the total number of replicate runs executed.
 	Simulations int `json:"simulations"`
 }
 
-// Run executes the sweep: normalize and validate the spec, enumerate the
-// grid, then drive (cell, replicate) jobs through a bounded worker pool.
-// Unique populations and placements are built once via the content-keyed
-// cache; each replicate streams into its cell's aggregator. The output
-// is byte-identical for any Workers value because aggregation slots are
-// addressed by replicate index, never by completion order.
+// runCounter tracks, for one run, how many builds each requested content
+// key actually triggered (0 = served from a shared cache).
+type runCounter struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newRunCounter() *runCounter { return &runCounter{m: map[string]int{}} }
+
+func (rc *runCounter) record(key string, built bool) {
+	rc.mu.Lock()
+	if built {
+		rc.m[key]++
+	} else if _, ok := rc.m[key]; !ok {
+		rc.m[key] = 0
+	}
+	rc.mu.Unlock()
+}
+
+func (rc *runCounter) snapshot() map[string]int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(map[string]int, len(rc.m))
+	for k, n := range rc.m {
+		out[k] = n
+	}
+	return out
+}
+
+// Run executes the sweep with one-shot semantics: background context,
+// run-private caches, no streaming. See RunContext.
 func Run(spec *Spec, hooks Hooks) (*SweepResult, error) {
+	return RunContext(context.Background(), spec, hooks, nil)
+}
+
+// RunContext executes the sweep: normalize and validate the spec,
+// enumerate the grid, then drive (cell, replicate) jobs through a
+// bounded worker pool, most-expensive-cell-first when opts.PredictCost
+// is set. Unique populations and placements are built once via the
+// content-keyed caches (shared process-lifetime caches when opts
+// provides them); each replicate streams into its cell's aggregator, and
+// each cell finalizes — and reaches opts.OnCell — the moment its last
+// replicate lands. The output is byte-identical for any Workers value
+// and any dispatch order because aggregation slots are addressed by
+// replicate index and results by grid index, never by completion order.
+//
+// Cancellation: when ctx is canceled the executor stops dispatching,
+// lets in-flight simulations and builds finish (builds always run to
+// completion because, under a shared cache, other requests may be
+// waiting on them; only the WAIT on someone else's build is ctx-aware),
+// and returns ctx.Err(). A failing
+// cell does NOT abort the sweep: the cell is marked failed (remaining
+// replicates are skipped), every other cell still runs, and RunContext
+// returns the partial result alongside an error summarizing the failed
+// cells.
+func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) (*SweepResult, error) {
 	if hooks.GeneratePopulation == nil || hooks.BuildPlacement == nil || hooks.Simulate == nil {
 		return nil, fmt.Errorf("ensemble: incomplete hooks")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts == nil {
+		opts = &RunOptions{}
 	}
 	// Work on a private copy: Normalize fills defaults, and the result
 	// embeds the spec — neither should touch the caller's struct.
@@ -80,36 +169,117 @@ func Run(spec *Spec, hooks Hooks) (*SweepResult, error) {
 		models[i] = model
 	}
 
-	popCache := newBuildCache()
-	plCache := newBuildCache()
+	popCache := opts.PopulationCache
+	if popCache == nil {
+		popCache = newBuildCache()
+	}
+	plCache := opts.PlacementCache
+	if plCache == nil {
+		plCache = newBuildCache()
+	}
+	popCounts := newRunCounter()
+	plCounts := newRunCounter()
+
 	aggs := make([]*aggregator, len(cells))
 	for i := range aggs {
 		aggs[i] = newAggregator(spec.Replicates)
+	}
+
+	// Cost-ordered dispatch: price every cell up front, then feed the
+	// pool most-expensive-first (LPT). Ties and the nil-predictor case
+	// keep grid order; results are grid-indexed so ordering never
+	// affects output bytes.
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	if opts.PredictCost != nil {
+		costs := make([]float64, len(cells))
+		for i, c := range cells {
+			costs[i] = opts.PredictCost(c, spec)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return costs[order[a]] > costs[order[b]]
+		})
+	}
+
+	// Per-cell completion state: remaining replicates, the first error,
+	// and the finalized result — all under one mutex that also publishes
+	// every aggregator write to whichever worker finalizes the cell.
+	type cellState struct {
+		remaining int
+		err       error
+	}
+	states := make([]cellState, len(cells))
+	for i := range states {
+		states[i].remaining = spec.Replicates
+	}
+	results := make([]CellResult, len(cells))
+	var (
+		stMu sync.Mutex
+		sims atomic.Int64
+	)
+
+	emit := func(res CellResult) {
+		if opts.OnCell != nil {
+			opts.OnCell(res)
+		}
+	}
+	failCell := func(ci int, err error) {
+		stMu.Lock()
+		if states[ci].err != nil {
+			stMu.Unlock()
+			return
+		}
+		states[ci].err = err
+		res := errorCellResult(cells[ci], err)
+		results[ci] = res
+		stMu.Unlock()
+		emit(res)
+	}
+	completeReplicate := func(ci int) {
+		stMu.Lock()
+		states[ci].remaining--
+		done := states[ci].remaining == 0 && states[ci].err == nil
+		stMu.Unlock()
+		if !done {
+			return
+		}
+		res := aggs[ci].finalize(cells[ci], spec.Quantiles, spec.Confidence)
+		stMu.Lock()
+		results[ci] = res
+		stMu.Unlock()
+		emit(res)
+	}
+	cellFailed := func(ci int) bool {
+		stMu.Lock()
+		defer stMu.Unlock()
+		return states[ci].err != nil
+	}
+
+	// Shared caches forget failed builds so later requests may retry a
+	// transient failure; within ONE run a failing key is deterministic
+	// wasted work, so a run-private negative memo fails every other cell
+	// of that key fast after the first attempt.
+	var negMu sync.Mutex
+	negative := map[string]error{}
+	memoFail := func(key string, err error) {
+		negMu.Lock()
+		if _, ok := negative[key]; !ok {
+			negative[key] = err
+		}
+		negMu.Unlock()
+	}
+	priorFail := func(key string) error {
+		negMu.Lock()
+		defer negMu.Unlock()
+		return negative[key]
 	}
 
 	type job struct {
 		cellIdx   int
 		replicate int
 	}
-	jobs := make(chan job)
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	var (
-		errOnce  sync.Once
-		firstErr error
-		failed   = make(chan struct{})
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			close(failed)
-		})
-	}
-
 	runJob := func(j job) error {
 		cell := cells[j.cellIdx]
 		popKey := cell.Population.Key(spec.Seed)
@@ -117,22 +287,39 @@ func Run(spec *Spec, hooks Hooks) (*SweepResult, error) {
 		if popSeed == 0 {
 			popSeed = spec.Seed
 		}
-		popAny, err := popCache.get(popKey, func() (any, error) {
+		if err := priorFail(popKey); err != nil {
+			return fmt.Errorf("ensemble: population %s: %w", cell.Population.Label(), err)
+		}
+		popAny, built, err := popCache.get(ctx, popKey, func() (any, error) {
 			return hooks.GeneratePopulation(cell.Population, popSeed)
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil // canceled while waiting, not a cell failure
+			}
+			memoFail(popKey, err)
 			return fmt.Errorf("ensemble: population %s: %w", cell.Population.Label(), err)
 		}
+		popCounts.record(popKey, built)
 		pop := popAny.(*synthpop.Population)
 
 		plKey := cell.Placement.Key(popKey)
-		pl, err := plCache.get(plKey, func() (any, error) {
+		if err := priorFail(plKey); err != nil {
+			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
+		}
+		pl, built, err := plCache.get(ctx, plKey, func() (any, error) {
 			return hooks.BuildPlacement(pop, cell.Placement, popSeed)
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			memoFail(plKey, err)
 			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
 		}
+		plCounts.record(plKey, built)
 
+		sims.Add(1)
 		res, err := hooks.Simulate(pl, Job{
 			Cell:      cell,
 			Replicate: j.replicate,
@@ -144,36 +331,66 @@ func Run(spec *Spec, hooks Hooks) (*SweepResult, error) {
 			return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
 		}
 		aggs[j.cellIdx].add(j.replicate, res)
+		completeReplicate(j.cellIdx)
 		return nil
 	}
 
+	jobs := make(chan job)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if err := runJob(j); err != nil {
-					fail(err)
-					// Keep draining so the producer never blocks.
+				if ctx.Err() != nil {
+					continue // drain without starting new work
+				}
+				if cellFailed(j.cellIdx) {
+					continue // sibling replicate already failed the cell
+				}
+				if err := opts.Slots.acquire(ctx); err != nil {
+					continue
+				}
+				err := runJob(j)
+				opts.Slots.release()
+				if err != nil {
+					failCell(j.cellIdx, err)
 				}
 			}
 		}()
 	}
 
 feed:
-	for ci := range cells {
+	for _, ci := range order {
 		for r := 0; r < spec.Replicates; r++ {
 			select {
 			case jobs <- job{cellIdx: ci, replicate: r}:
-			case <-failed:
+			case <-ctx.Done():
 				break feed
 			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		// A cancel that lands as (or after) the last cell finalizes must
+		// not discard a whole result: when every cell already reached a
+		// terminal state, the sweep effectively completed — fall through
+		// and return it.
+		complete := true
+		for i := range states {
+			if states[i].remaining > 0 && states[i].err == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			return nil, err
+		}
 	}
 
 	// The result embeds the (already private) spec for provenance, minus
@@ -182,13 +399,69 @@ feed:
 	spec.Workers = 0
 	out := &SweepResult{
 		Spec:             spec,
-		Cells:            make([]CellResult, len(cells)),
-		PopulationBuilds: popCache.builds(),
-		PlacementBuilds:  plCache.builds(),
-		Simulations:      len(cells) * spec.Replicates,
+		Cells:            results,
+		PopulationBuilds: popCounts.snapshot(),
+		PlacementBuilds:  plCounts.snapshot(),
+		Simulations:      int(sims.Load()),
 	}
-	for i, cell := range cells {
-		out.Cells[i] = aggs[i].finalize(cell, spec.Quantiles, spec.Confidence)
+	var failed []int
+	for ci := range states {
+		if states[ci].err != nil {
+			failed = append(failed, ci)
+		}
+	}
+	if len(failed) > 0 {
+		return out, fmt.Errorf("ensemble: %d of %d cells failed; first: %w",
+			len(failed), len(cells), states[failed[0]].err)
 	}
 	return out, nil
+}
+
+// errorCellResult is the placeholder emitted for a failed cell: labels
+// and Error set, aggregates empty.
+func errorCellResult(cell Cell, err error) CellResult {
+	return CellResult{
+		Index:      cell.Index,
+		Label:      cell.Label(),
+		Population: cell.Population.Label(),
+		Placement:  cell.Placement.Label(),
+		Model:      cell.Model.Name,
+		Scenario:   cell.Scenario.Name,
+		Error:      err.Error(),
+	}
+}
+
+// Slots is a counting semaphore shared by concurrent sweeps so one
+// process-wide bound governs total simulation parallelism no matter how
+// many requests are in flight. A nil *Slots is a no-op gate.
+type Slots struct {
+	ch chan struct{}
+}
+
+// NewSlots builds a pool of n shared worker slots (n < 1 is clamped to
+// GOMAXPROCS).
+func NewSlots(n int) *Slots {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Slots{ch: make(chan struct{}, n)}
+}
+
+func (s *Slots) acquire(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	select {
+	case s.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Slots) release() {
+	if s == nil {
+		return
+	}
+	<-s.ch
 }

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+
+	"repro/client"
+)
+
+// hub is one sweep's event log and broadcast fan-out. Every published
+// event is retained for the job's lifetime, so any subscriber — first
+// connection or reconnect — can replay from an arbitrary sequence
+// number and then continue live: the SSE contract "replay from cell 0"
+// costs one slice copy.
+//
+// Slow subscribers never block the executor: publishes into a full
+// subscriber buffer close that subscriber, and the client resumes with
+// from = last seen seq + 1, served again from the retained log.
+type hub struct {
+	mu     sync.Mutex
+	events []client.Event
+	closed bool
+	subs   map[chan client.Event]bool
+}
+
+// subBuffer bounds one subscriber's unread backlog before it is dropped
+// (and must reconnect-replay).
+const subBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: map[chan client.Event]bool{}}
+}
+
+// publish appends the event to the log (assigning its Seq) and fans it
+// out to live subscribers.
+func (h *hub) publish(ev client.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	ev.Seq = len(h.events)
+	h.events = append(h.events, ev)
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Subscriber can't keep up: drop it; the retained log makes
+			// reconnection lossless.
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close marks the stream complete (after the terminal event) and ends
+// every live subscription.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = map[chan client.Event]bool{}
+}
+
+// subscribe returns the retained events from sequence `from` onward plus
+// a live channel for what follows; cancel unregisters (idempotent). For
+// a completed stream the channel is already closed, so a consumer sees
+// the full replay then a clean end.
+func (h *hub) subscribe(from int) (replay []client.Event, ch chan client.Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(h.events) {
+		from = len(h.events)
+	}
+	replay = append([]client.Event(nil), h.events[from:]...)
+	ch = make(chan client.Event, subBuffer)
+	if h.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	h.subs[ch] = true
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.subs[ch] {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}

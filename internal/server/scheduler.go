@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	episim "repro"
+	"repro/client"
+)
+
+// sweepRunner executes one sweep; production wires episim.RunSweepContext,
+// tests substitute a controllable fake.
+type sweepRunner func(context.Context, *episim.SweepSpec, *episim.SweepOptions) (*episim.SweepResult, error)
+
+// scheduler owns the job queue and the runner pool: at most maxActive
+// sweeps execute at once (FIFO admission), and all of them share one
+// slot pool and one placement cache, so total simulation parallelism
+// and memory stay bounded no matter how many requests are in flight.
+type scheduler struct {
+	store   *store
+	cache   *episim.SweepCache
+	slots   *episim.SweepSlots
+	run     sweepRunner
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []string
+	active int
+	closed bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	cellsStreamed atomic.Int64
+}
+
+func newScheduler(st *store, cache *episim.SweepCache, slots *episim.SweepSlots,
+	workers, maxActive int, run sweepRunner) *scheduler {
+	s := &scheduler{
+		store:   st,
+		cache:   cache,
+		slots:   slots,
+		run:     run,
+		workers: workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if maxActive < 1 {
+		maxActive = 2
+	}
+	for i := 0; i < maxActive; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// submit registers and enqueues a sweep, returning its job. A
+// submission landing in the shutdown window (scheduler closed, listener
+// still draining) is terminated immediately so its status and event
+// stream resolve instead of queuing forever.
+func (s *scheduler) submit(spec *episim.SweepSpec) *job {
+	j := s.store.add(spec)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.store.requestCancel(j)
+		return j
+	}
+	s.queue = append(s.queue, j.id)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return j
+}
+
+// queueDepth and activeCount feed the stats endpoint. Jobs canceled
+// while queued stay in the slice until a runner pops the stale id, so
+// depth counts only entries that are still actually waiting.
+func (s *scheduler) queueDepth() int {
+	s.mu.Lock()
+	ids := append([]string(nil), s.queue...)
+	s.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if j, ok := s.store.get(id); ok && !s.store.status(j).State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *scheduler) activeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// close stops admission, cancels running sweeps, waits for the runner
+// pool to drain, then terminates jobs still queued — their hubs must
+// publish a terminal event and close, or subscribers attached to a
+// queued sweep's event stream would hang a graceful shutdown forever.
+func (s *scheduler) close() {
+	s.cancel()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	s.mu.Lock()
+	queued := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, id := range queued {
+		if j, ok := s.store.get(id); ok {
+			s.store.requestCancel(j)
+		}
+	}
+}
+
+// runner is one admission slot: pop, execute, repeat.
+func (s *scheduler) runner() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active++
+		s.mu.Unlock()
+
+		if j, ok := s.store.get(id); ok {
+			s.execute(j)
+		}
+
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one sweep end to end: transition to running, stream each
+// finalized cell into the job's hub, then publish the terminal event.
+func (s *scheduler) execute(j *job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !s.store.markRunning(j, cancel) {
+		return // canceled while queued
+	}
+
+	// Clamp the sweep's own goroutine count to the service pool: the
+	// shared slots bound actual parallelism, the clamp just avoids
+	// spawning idle workers.
+	if j.spec.Workers <= 0 || j.spec.Workers > s.workers {
+		j.spec.Workers = s.workers
+	}
+
+	onCell := func(cell episim.SweepCellResult) {
+		s.cellsStreamed.Add(1)
+		s.store.incCellsDone(j)
+		c := cell
+		j.hub.publish(client.Event{Type: "cell", Cell: &c})
+	}
+	res, err := s.run(ctx, j.spec, &episim.SweepOptions{
+		Cache:  s.cache,
+		Slots:  s.slots,
+		OnCell: onCell,
+	})
+
+	var st client.JobStatus
+	var typ string
+	switch {
+	case err == nil:
+		// A sweep that ran to completion is done even if a cancel (or
+		// shutdown) landed after its last cell — the result is whole.
+		st = s.store.finish(j, client.StateDone, "", res)
+		typ = "done"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st = s.store.finish(j, client.StateCanceled, "", res)
+		typ = "canceled"
+	default:
+		// A genuine failure stays a failure even when a shutdown cancel
+		// raced the run's return — the error message is the diagnosis.
+		st = s.store.finish(j, client.StateFailed, err.Error(), res)
+		typ = "error"
+	}
+	j.hub.publish(client.Event{Type: typ, Job: &st})
+	j.hub.close()
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	episim "repro"
+	"repro/client"
+)
+
+// Config sizes one episimd instance.
+type Config struct {
+	// Workers is the shared worker-slot pool bounding total simulation
+	// parallelism across every concurrent sweep (0 = GOMAXPROCS).
+	Workers int
+	// MaxActive bounds how many sweeps execute at once; later
+	// submissions queue FIFO (0 = 2).
+	MaxActive int
+	// CacheBytes is the LRU bound on retained populations + placements
+	// shared across requests (0 = unbounded).
+	CacheBytes int64
+}
+
+// Server is the episimd service core: job store, scheduler, shared
+// caches, and the HTTP handler over them.
+type Server struct {
+	store   *store
+	sched   *scheduler
+	cache   *episim.SweepCache
+	started time.Time
+}
+
+// New builds a server executing sweeps with the real engine.
+func New(cfg Config) *Server {
+	return newWithRunner(cfg, episim.RunSweepContext)
+}
+
+// newWithRunner lets tests substitute a controllable sweep runner.
+func newWithRunner(cfg Config, run sweepRunner) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	st := newStore()
+	cache := episim.NewSweepCache(cfg.CacheBytes)
+	slots := episim.NewSweepSlots(cfg.Workers)
+	return &Server{
+		store:   st,
+		sched:   newScheduler(st, cache, slots, cfg.Workers, cfg.MaxActive, run),
+		cache:   cache,
+		started: time.Now(),
+	}
+}
+
+// Close cancels running sweeps and drains the runner pool.
+func (s *Server) Close() { s.sched.close() }
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/sweeps             submit a SweepSpec, 202 + {id}
+//	GET    /v1/sweeps             list jobs
+//	GET    /v1/sweeps/{id}        one job's status
+//	GET    /v1/sweeps/{id}/result full aggregate once finished
+//	GET    /v1/sweeps/{id}/events SSE (or ?format=ndjson) cell stream,
+//	                              replayable via ?from= / Last-Event-ID
+//	POST   /v1/sweeps/{id}/cancel stop a queued or running sweep
+//	DELETE /v1/sweeps/{id}        same as cancel
+//	GET    /v1/stats              service + cache metrics (JSON)
+//	GET    /metrics               the same, Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.store.list())
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.withJob(s.handleStatus))
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.withJob(s.handleResult))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.withJob(s.handleEvents))
+	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.withJob(s.handleCancel))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.withJob(s.handleCancel))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.stats())
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// withJob resolves {id} before invoking h.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := s.store.get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := episim.ParseSweepSpec(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.sched.submit(spec)
+	writeJSON(w, http.StatusAccepted, client.SubmitReply{
+		ID:          j.id,
+		Cells:       j.cells,
+		Simulations: j.cells * spec.Replicates,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *job) {
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
+	res, state := s.store.result(j)
+	if res == nil {
+		// Distinguish "not yet" (retryable 409) from "never": a canceled
+		// or failed run that produced no aggregate is permanent.
+		if state.Terminal() {
+			writeError(w, http.StatusGone, "sweep %s is %s and produced no result", j.id, state)
+			return
+		}
+		writeError(w, http.StatusConflict, "sweep %s is %s; no result yet", j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = res.WriteJSON(w)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, j *job) {
+	if !s.store.requestCancel(j) {
+		writeError(w, http.StatusConflict, "sweep %s already %s", j.id, s.store.status(j).State)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+// handleEvents streams a sweep's cell aggregates as they finalize.
+// Server-sent events by default; ?format=ndjson (or an NDJSON Accept
+// header) switches to one JSON object per line. ?from=N — or a
+// Last-Event-ID header on SSE reconnect — replays the retained log from
+// that sequence number (default 0: everything) before going live.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from=%q", v)
+			return
+		}
+		from = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			from = n + 1
+		}
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsub := j.hub.subscribe(from)
+	defer unsub()
+
+	send := func(ev client.Event) bool {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if ndjson {
+			if _, err := fmt.Fprintf(w, "%s\n", payload); err != nil {
+				return false
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+				ev.Seq, ev.Type, payload); err != nil {
+				return false
+			}
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	// Heartbeat during quiet stretches (a slow cell can produce no events
+	// for minutes) so idle-timeout proxies don't cut healthy streams: an
+	// SSE comment line, or a bare newline for NDJSON — both ignored by
+	// consumers.
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // stream complete (or subscriber dropped: reconnect replays)
+			}
+			if !send(ev) {
+				return
+			}
+		case <-heartbeat.C:
+			var err error
+			if ndjson {
+				_, err = fmt.Fprint(w, "\n")
+			} else {
+				_, err = fmt.Fprint(w, ": keepalive\n\n")
+			}
+			if err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) stats() client.StatsReply {
+	total, _, _, done, failed, canceled := s.store.counts()
+	uptime := time.Since(s.started).Seconds()
+	cells := s.sched.cellsStreamed.Load()
+	perSec := 0.0
+	if uptime > 0 {
+		perSec = float64(cells) / uptime
+	}
+	return client.StatsReply{
+		UptimeSec:       uptime,
+		QueueDepth:      s.sched.queueDepth(),
+		ActiveSweeps:    s.sched.activeCount(),
+		SweepsTotal:     total,
+		SweepsDone:      done,
+		SweepsFailed:    failed,
+		SweepsCanceled:  canceled,
+		CellsStreamed:   cells,
+		CellsPerSec:     perSec,
+		PopulationCache: s.cache.PopulationStats(),
+		PlacementCache:  s.cache.PlacementStats(),
+	}
+}
+
+// handleMetrics renders the stats snapshot as Prometheus text-format
+// gauges/counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name string
+		val  float64
+	}{
+		{"episimd_uptime_seconds", st.UptimeSec},
+		{"episimd_queue_depth", float64(st.QueueDepth)},
+		{"episimd_active_sweeps", float64(st.ActiveSweeps)},
+		{"episimd_sweeps_total", float64(st.SweepsTotal)},
+		{"episimd_sweeps_done_total", float64(st.SweepsDone)},
+		{"episimd_sweeps_failed_total", float64(st.SweepsFailed)},
+		{"episimd_sweeps_canceled_total", float64(st.SweepsCanceled)},
+		{"episimd_cells_streamed_total", float64(st.CellsStreamed)},
+		{"episimd_cells_per_second", st.CellsPerSec},
+		{"episimd_population_cache_entries", float64(st.PopulationCache.Entries)},
+		{"episimd_population_cache_bytes", float64(st.PopulationCache.Bytes)},
+		{"episimd_population_cache_hits_total", float64(st.PopulationCache.Hits)},
+		{"episimd_population_cache_misses_total", float64(st.PopulationCache.Misses)},
+		{"episimd_population_cache_evictions_total", float64(st.PopulationCache.Evictions)},
+		{"episimd_placement_cache_entries", float64(st.PlacementCache.Entries)},
+		{"episimd_placement_cache_bytes", float64(st.PlacementCache.Bytes)},
+		{"episimd_placement_cache_hits_total", float64(st.PlacementCache.Hits)},
+		{"episimd_placement_cache_misses_total", float64(st.PlacementCache.Misses)},
+		{"episimd_placement_cache_evictions_total", float64(st.PlacementCache.Evictions)},
+	} {
+		fmt.Fprintf(w, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
+	}
+}

@@ -1,0 +1,214 @@
+// Package server implements episimd: a long-running HTTP service that
+// accepts SweepSpec submissions, runs them on a shared bounded worker
+// pool with a process-lifetime placement cache, and streams per-cell
+// aggregates the moment each cell finalizes.
+//
+// The package splits four concerns across four files: the job store
+// (this file) owns lifecycle state; the hub (hub.go) owns event fan-out
+// with replay; the scheduler (scheduler.go) owns the queue, the runner
+// pool and the sweep execution; the HTTP layer (server.go) owns the
+// wire. The wire types live in repro/client so daemon and client cannot
+// drift.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	episim "repro"
+	"repro/client"
+)
+
+// job is one submitted sweep and its full lifecycle state. All fields
+// after the immutable header are guarded by the owning store's mutex.
+type job struct {
+	id   string
+	spec *episim.SweepSpec
+	hub  *hub
+
+	state     client.JobState
+	errMsg    string
+	cells     int
+	cellsDone int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	result    *episim.SweepResult
+	// cancel aborts the run's context once the job is running; for
+	// queued jobs cancellation happens by state alone.
+	cancel context.CancelFunc
+}
+
+// store is the in-memory job registry. episimd is deliberately
+// memory-resident (the ROADMAP's persistence item is placement spill,
+// not job history): a restart forgets finished sweeps, and clients that
+// need durability keep the streamed NDJSON.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	seq   int
+	now   func() time.Time
+}
+
+func newStore() *store {
+	return &store{jobs: map[string]*job{}, now: time.Now}
+}
+
+// add registers a new queued job for spec (already normalized and
+// validated) and returns it.
+func (s *store) add(spec *episim.SweepSpec) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("sw-%06d", s.seq),
+		spec:    spec,
+		hub:     newHub(),
+		state:   client.StateQueued,
+		cells:   len(spec.Cells()),
+		created: s.now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j
+}
+
+func (s *store) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// status snapshots one job under the store lock.
+func (s *store) status(j *job) client.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+func (s *store) statusLocked(j *job) client.JobStatus {
+	st := client.JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Error:      j.errMsg,
+		Cells:      j.cells,
+		CellsDone:  j.cellsDone,
+		Replicates: j.spec.Replicates,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// list snapshots every job, oldest first.
+func (s *store) list() []client.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]client.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// result returns a finished job's aggregate (nil while running/queued).
+func (s *store) result(j *job) (*episim.SweepResult, client.JobState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.result, j.state
+}
+
+// counts tallies job states for the stats endpoint.
+func (s *store) counts() (total, queued, running, done, failed, canceled int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		total++
+		switch j.state {
+		case client.StateQueued:
+			queued++
+		case client.StateRunning:
+			running++
+		case client.StateDone:
+			done++
+		case client.StateFailed:
+			failed++
+		case client.StateCanceled:
+			canceled++
+		}
+	}
+	return
+}
+
+// markRunning transitions a queued job to running and registers its
+// cancel function; it reports false when the job was canceled while
+// still queued (the runner then skips it).
+func (s *store) markRunning(j *job, cancel context.CancelFunc) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != client.StateQueued {
+		return false
+	}
+	j.state = client.StateRunning
+	j.started = s.now()
+	j.cancel = cancel
+	return true
+}
+
+// incCellsDone counts one finalized (streamed or failed) cell.
+func (s *store) incCellsDone(j *job) {
+	s.mu.Lock()
+	j.cellsDone++
+	s.mu.Unlock()
+}
+
+// finish records a run's terminal state and (possibly partial) result,
+// returning the final snapshot for the terminal event.
+func (s *store) finish(j *job, state client.JobState, errMsg string, res *episim.SweepResult) client.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+	j.result = res
+	j.finished = s.now()
+	j.cancel = nil
+	return s.statusLocked(j)
+}
+
+// requestCancel moves a queued job straight to canceled (publishing the
+// terminal event) or signals a running job's context; terminal jobs are
+// left untouched. It reports whether the job was still cancelable.
+func (s *store) requestCancel(j *job) bool {
+	s.mu.Lock()
+	switch j.state {
+	case client.StateQueued:
+		j.state = client.StateCanceled
+		j.finished = s.now()
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		j.hub.publish(client.Event{Type: "canceled", Job: &st})
+		j.hub.close()
+		return true
+	case client.StateRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		s.mu.Unlock()
+		return false
+	}
+}

@@ -1,6 +1,7 @@
 package episim
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -27,10 +28,83 @@ type (
 	SweepPlacement  = ensemble.PlacementSpec
 	SweepModel      = ensemble.ModelSpec
 	SweepScenario   = ensemble.ScenarioSpec
+	// SweepSlots is a shared worker-slot pool bounding the total
+	// simulation parallelism of every sweep that carries it.
+	SweepSlots = ensemble.Slots
+	// SweepCacheStats is a snapshot of one build cache's accounting.
+	SweepCacheStats = ensemble.CacheStats
 )
+
+// NewSweepSlots builds a pool of n shared worker slots (n < 1 =
+// GOMAXPROCS); pass it to several concurrent RunSweepContext calls to
+// bound them together.
+func NewSweepSlots(n int) *SweepSlots { return ensemble.NewSlots(n) }
 
 // ParseSweepSpec decodes and validates a SweepSpec from JSON.
 func ParseSweepSpec(r io.Reader) (*SweepSpec, error) { return ensemble.ParseSpec(r) }
+
+// SweepCache holds process-lifetime population and placement caches.
+// BuildPlacement dominates single-run wall time, so a server keeps one
+// SweepCache for its whole life: concurrent requests with the same
+// content keys share a single build (singleflight), repeated requests
+// hit warm entries, and an LRU byte bound keeps the daemon's footprint
+// flat. The zero value is not usable; call NewSweepCache.
+type SweepCache struct {
+	pop *ensemble.Cache
+	pl  *ensemble.Cache
+}
+
+// NewSweepCache builds a shared cache bounded to roughly maxBytes of
+// retained populations and placements combined (0 = unbounded): the
+// budget is split a quarter to populations, three quarters to
+// placements, which dominate (each charges its population's bytes too —
+// a split population is private to its placement — so the bound is
+// conservative).
+func NewSweepCache(maxBytes int64) *SweepCache {
+	popBudget := maxBytes / 4
+	plBudget := maxBytes - popBudget
+	return &SweepCache{
+		pop: ensemble.NewCache(popBudget, func(v any) int64 {
+			return populationBytes(v.(*synthpop.Population))
+		}),
+		pl: ensemble.NewCache(plBudget, func(v any) int64 {
+			pl := v.(*Placement)
+			return int64(4*(len(pl.PersonRank)+len(pl.LocationRank))) + populationBytes(pl.Pop)
+		}),
+	}
+}
+
+// populationBytes approximates a population's retained size (visits
+// dominate: 16 bytes each).
+func populationBytes(p *synthpop.Population) int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(len(p.Visits))*16 +
+		int64(len(p.Persons))*24 +
+		int64(len(p.Locations))*24 +
+		int64(len(p.PersonVisitOffsets))*4
+}
+
+// PopulationStats and PlacementStats snapshot the two caches' hit/miss/
+// eviction accounting (the substance of the daemon's /v1/stats reply).
+func (c *SweepCache) PopulationStats() SweepCacheStats { return c.pop.Stats() }
+func (c *SweepCache) PlacementStats() SweepCacheStats  { return c.pl.Stats() }
+
+// SweepOptions are the service-grade extensions to RunSweepContext. The
+// zero value (or nil) reproduces RunSweep's one-shot behavior.
+type SweepOptions struct {
+	// Cache, when non-nil, shares populations and placements across
+	// every run that carries it (and across their concurrent workers).
+	Cache *SweepCache
+	// OnCell streams each cell's aggregate the moment the cell
+	// finalizes — before the rest of the grid completes. Called
+	// concurrently from worker goroutines.
+	OnCell func(SweepCellResult)
+	// Slots, when non-nil, bounds this run's simulation work jointly
+	// with every other run sharing the pool.
+	Slots *SweepSlots
+}
 
 // RunSweep executes a scenario sweep over the grid the spec declares,
 // with a bounded worker pool (spec.Workers) and a content-keyed cache
@@ -40,7 +114,66 @@ func ParseSweepSpec(r io.Reader) (*SweepSpec, error) { return ensemble.ParseSpec
 // stream into per-cell aggregates; the output is byte-identical for any
 // worker count.
 func RunSweep(spec *SweepSpec) (*SweepResult, error) {
-	return ensemble.Run(spec, ensemble.Hooks{
+	return RunSweepContext(context.Background(), spec, nil)
+}
+
+// RunSweepContext is RunSweep with cancellation and service hooks: a
+// canceled ctx stops dispatching promptly (in-flight replicates finish)
+// and returns ctx.Err(); opts wires cross-request caching, per-cell
+// streaming and a shared worker-slot pool. Jobs are dispatched
+// most-expensive-cell-first using the Blue Waters machine model as the
+// cost oracle (ModelSweepSeconds on already-built placements, an
+// analytic visit-count estimate otherwise), cutting makespan on grids
+// with skewed cell sizes. When some cells fail, RunSweepContext returns
+// the partial result alongside the error; failed cells carry Error in
+// place of aggregates.
+func RunSweepContext(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*SweepResult, error) {
+	ro := &ensemble.RunOptions{PredictCost: predictCellCost(nil)}
+	if opts != nil {
+		if opts.Cache != nil {
+			ro.PopulationCache = opts.Cache.pop
+			ro.PlacementCache = opts.Cache.pl
+			ro.PredictCost = predictCellCost(opts.Cache)
+		}
+		ro.OnCell = opts.OnCell
+		ro.Slots = opts.Slots
+	}
+	return ensemble.RunContext(ctx, spec, sweepHooks(), ro)
+}
+
+// predictCellCost prices a sweep cell in modeled Blue Waters seconds for
+// longest-processing-time dispatch. A placement already resident in the
+// shared cache is priced exactly with the machine model; anything else
+// falls back to the dominant analytic term of the person phase — people
+// × visits/person/day × per-visit seconds × days — which lands in the
+// same decade, so mixed exact/estimated grids still order sensibly.
+func predictCellCost(cache *SweepCache) func(ensemble.Cell, *ensemble.Spec) float64 {
+	opt := DefaultPerfOptions()
+	return func(cell ensemble.Cell, spec *ensemble.Spec) float64 {
+		popKey := cell.Population.Key(spec.Seed)
+		if cache != nil {
+			if v, ok := cache.pl.Peek(cell.Placement.Key(popKey)); ok {
+				return ModelSweepSeconds(v.(*Placement), spec.Days, opt)
+			}
+		}
+		people := float64(cell.Population.People)
+		if cell.Population.State != "" && cell.Population.Scale > 0 {
+			if p, err := synthpop.PresetByName(cell.Population.State); err == nil {
+				people = float64(p.People) / float64(cell.Population.Scale)
+			}
+		}
+		const visitsPerPersonDay = 5.5 // synthpop calibration target
+		days := float64(spec.Days)
+		if days < 1 {
+			days = 1
+		}
+		return people * visitsPerPersonDay * opt.PersonSecPerVisit * days
+	}
+}
+
+// sweepHooks wires the real engine into the ensemble executor.
+func sweepHooks() ensemble.Hooks {
+	return ensemble.Hooks{
 		GeneratePopulation: func(ps ensemble.PopulationSpec, seed uint64) (*synthpop.Population, error) {
 			if ps.State != "" {
 				return synthpop.GenerateState(ps.State, ps.Scale, seed)
@@ -75,5 +208,5 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 				Mixing:            job.Spec.Mixing,
 			})
 		},
-	})
+	}
 }
