@@ -1,0 +1,117 @@
+package episim
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/artifact"
+	"repro/internal/ensemble"
+	"repro/internal/synthpop"
+)
+
+// SweepStoreStats is a size snapshot of one on-disk artifact store.
+type SweepStoreStats = artifact.StoreStats
+
+// NewSweepCacheDir builds a SweepCache whose memory LRU (bounded to
+// maxBytes, 0 = unbounded) is backed by a content-addressed artifact
+// store rooted at dir: populations under dir/populations, placements
+// under dir/placements. Every placement any process builds is written
+// through to disk, and every later process — a repeated CLI sweep, a
+// restarted daemon — loads it back instead of re-partitioning, which is
+// the single most expensive step of a run. Artifacts are checksummed
+// and versioned; a corrupt, truncated or stale file reads as a cache
+// miss and is rebuilt in place, never served and never fatal.
+//
+// An empty dir degrades to NewSweepCache (memory only).
+func NewSweepCacheDir(maxBytes int64, dir string) (*SweepCache, error) {
+	c := NewSweepCache(maxBytes)
+	if dir == "" {
+		return c, nil
+	}
+	popStore, err := artifact.NewStore(filepath.Join(dir, "populations"))
+	if err != nil {
+		return nil, fmt.Errorf("episim: cache dir: %w", err)
+	}
+	plStore, err := artifact.NewStore(filepath.Join(dir, "placements"))
+	if err != nil {
+		return nil, fmt.Errorf("episim: cache dir: %w", err)
+	}
+	c.pop.WithDisk(populationTier{popStore})
+	c.pl.WithDisk(placementTier{plStore})
+	c.popStore, c.plStore = popStore, plStore
+	return c, nil
+}
+
+// StoreStats reports the disk stores' sizes; ok is false for a
+// memory-only cache.
+func (c *SweepCache) StoreStats() (pop, pl SweepStoreStats, ok bool) {
+	if c.popStore == nil || c.plStore == nil {
+		return SweepStoreStats{}, SweepStoreStats{}, false
+	}
+	return c.popStore.Stats(), c.plStore.Stats(), true
+}
+
+// populationTier adapts the artifact store + codec to the ensemble
+// cache's disk-tier interface for populations.
+type populationTier struct{ store *artifact.Store }
+
+func (t populationTier) Load(key string) (any, error) {
+	payload, err := t.store.Get(artifact.KindPopulation, key)
+	if err != nil {
+		return nil, tierErr(err)
+	}
+	return artifact.DecodePopulation(payload)
+}
+
+func (t populationTier) Store(key string, v any) error {
+	return t.store.Put(artifact.KindPopulation, key,
+		artifact.EncodePopulation(v.(*synthpop.Population)))
+}
+
+// placementTier does the same for placements, converting between the
+// public Placement and its serializable artifact form (field-for-field;
+// the artifact package cannot import this one).
+type placementTier struct{ store *artifact.Store }
+
+func (t placementTier) Load(key string) (any, error) {
+	payload, err := t.store.Get(artifact.KindPlacement, key)
+	if err != nil {
+		return nil, tierErr(err)
+	}
+	a, err := artifact.DecodePlacement(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Pop:          a.Pop,
+		PersonRank:   a.PersonRank,
+		LocationRank: a.LocationRank,
+		Ranks:        a.Ranks,
+		Label:        a.Label,
+		SplitStats:   a.SplitStats,
+		Quality:      a.Quality,
+	}, nil
+}
+
+func (t placementTier) Store(key string, v any) error {
+	pl := v.(*Placement)
+	return t.store.Put(artifact.KindPlacement, key, artifact.EncodePlacement(&artifact.Placement{
+		Pop:          pl.Pop,
+		PersonRank:   pl.PersonRank,
+		LocationRank: pl.LocationRank,
+		Ranks:        pl.Ranks,
+		Label:        pl.Label,
+		SplitStats:   pl.SplitStats,
+		Quality:      pl.Quality,
+	}))
+}
+
+// tierErr translates store misses to the ensemble sentinel; everything
+// else (corruption, IO) passes through to be counted as a disk error.
+func tierErr(err error) error {
+	if errors.Is(err, artifact.ErrNotFound) {
+		return ensemble.ErrTierMiss
+	}
+	return err
+}

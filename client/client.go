@@ -87,12 +87,24 @@ type StatsReply struct {
 	SweepsDone     int `json:"sweeps_done"`
 	SweepsFailed   int `json:"sweeps_failed"`
 	SweepsCanceled int `json:"sweeps_canceled"`
+	// SweepsEvicted counts finished sweeps dropped from the memory index
+	// by the retention cap or TTL; with a cache dir they remain readable
+	// from the disk store (SweepsTotal covers the memory index only).
+	SweepsEvicted int64 `json:"sweeps_evicted"`
 
 	CellsStreamed int64   `json:"cells_streamed"`
 	CellsPerSec   float64 `json:"cells_per_sec"`
 
+	// Cache stats carry both tiers: Hits/Misses/... are the in-memory
+	// LRU, Disk* the persistent artifact tier, and Builds the actual
+	// build executions either tier failed to absorb.
 	PopulationCache episim.SweepCacheStats `json:"population_cache"`
 	PlacementCache  episim.SweepCacheStats `json:"placement_cache"`
+
+	// Store sizes are present only when the daemon runs with -cache-dir.
+	PopulationStore *episim.SweepStoreStats `json:"population_store,omitempty"`
+	PlacementStore  *episim.SweepStoreStats `json:"placement_store,omitempty"`
+	ResultStore     *episim.SweepStoreStats `json:"result_store,omitempty"`
 }
 
 // Client talks to one episimd instance.
@@ -186,7 +198,10 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 // Result fetches a finished sweep's full aggregate (partial when some
 // cells failed). The daemon replies 409 while the sweep is still
 // queued/running (retry later) and 410 when a canceled or failed run
-// produced no aggregate at all (permanent).
+// produced no aggregate at all (permanent). Results are durable when
+// the daemon runs with -cache-dir: they survive memory eviction and
+// daemon restarts. Build accounting is not part of the wire result
+// (it is execution state; see Stats for cache counters).
 func (c *Client) Result(ctx context.Context, id string) (*episim.SweepResult, error) {
 	var res episim.SweepResult
 	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/result", nil, &res); err != nil {

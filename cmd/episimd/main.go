@@ -7,6 +7,13 @@
 // Usage:
 //
 //	episimd -addr :8321 -workers 16 -max-active 4 -cache-mb 2048
+//	episimd -cache-dir /var/lib/episimd -retain 512 -result-ttl 72h
+//
+// With -cache-dir the daemon is durable: placements built by any
+// earlier process (or by `sweep -warm` against the same directory) are
+// loaded instead of re-partitioned, and finished sweeps spill to disk —
+// GET /v1/sweeps/{id}/result keeps working across restarts and after
+// the memory index evicts old jobs per -retain / -result-ttl.
 //
 // Then, from any HTTP client:
 //
@@ -38,14 +45,24 @@ func main() {
 		workers   = flag.Int("workers", 0, "shared worker-slot pool across all sweeps (0 = GOMAXPROCS)")
 		maxActive = flag.Int("max-active", 2, "sweeps executing concurrently; the rest queue")
 		cacheMB   = flag.Int64("cache-mb", 4096, "LRU bound on the shared population+placement cache, MiB (0 = unbounded)")
+		cacheDir  = flag.String("cache-dir", "", "persistent artifact store: placements survive restarts, finished sweeps spill to disk (empty = memory only)")
+		retain    = flag.Int("retain", 1024, "finished sweeps kept in the memory index; older ones evict (to disk with -cache-dir) (0 = unbounded)")
+		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index after this age, e.g. 24h (0 = never)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:    *workers,
 		MaxActive:  *maxActive,
 		CacheBytes: *cacheMB << 20,
+		CacheDir:   *cacheDir,
+		Retain:     *retain,
+		ResultTTL:  *resultTTL,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episimd:", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -53,8 +70,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "episimd: listening on %s (workers=%d max-active=%d cache=%dMiB)\n",
-		*addr, *workers, *maxActive, *cacheMB)
+	persist := "memory-only"
+	if *cacheDir != "" {
+		persist = "cache-dir=" + *cacheDir
+	}
+	fmt.Fprintf(os.Stderr, "episimd: listening on %s (workers=%d max-active=%d cache=%dMiB %s retain=%d)\n",
+		*addr, *workers, *maxActive, *cacheMB, persist, *retain)
 
 	select {
 	case err := <-errCh:

@@ -10,6 +10,13 @@
 //	sweep -spec sweep.json -out results.json
 //	sweep -spec sweep.json -summary summary.csv -curves curves.csv
 //	sweep -spec sweep.json -workers 16 -out -
+//	sweep -spec sweep.json -cache-dir .episim-cache -warm   # pre-build placements
+//	sweep -spec sweep.json -cache-dir .episim-cache         # zero placement builds
+//
+// With -cache-dir, every placement built is persisted as a checksummed,
+// content-addressed artifact; repeated runs of the same spec (any
+// process — including episimd pointed at the same directory) load the
+// artifacts instead of re-partitioning and emit byte-identical output.
 //
 // Exactly one simulation grid is read from -spec; -out/-summary/-curves
 // select the emitters ("-" means stdout). Progress goes to stderr.
@@ -42,6 +49,8 @@ func main() {
 		outJSON  = flag.String("out", "-", "write full aggregate JSON here (\"-\" = stdout, empty = off)")
 		summary  = flag.String("summary", "", "write per-cell summary CSV here")
 		curves   = flag.String("curves", "", "write per-day mean/quantile curves CSV here")
+		cacheDir = flag.String("cache-dir", "", "persistent placement cache directory: placements built by any earlier run are loaded instead of rebuilt")
+		warm     = flag.Bool("warm", false, "only build and persist the spec's placements into -cache-dir (no simulation)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -76,15 +85,45 @@ func main() {
 		spec.Workers = *workers
 	}
 
-	cells := spec.Cells()
-	fmt.Fprintf(os.Stderr, "sweep: %d cells × %d replicates = %d simulations\n",
-		len(cells), spec.Replicates, len(cells)*spec.Replicates)
+	var cache *episim.SweepCache
+	if *cacheDir != "" {
+		cache, err = episim.NewSweepCacheDir(0, *cacheDir)
+		if err != nil {
+			fail(err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *warm {
+		// Pre-warm only: build every unique placement into the cache dir
+		// and stop — CI and operators run this once so every later
+		// `sweep -cache-dir` (or episimd with the same dir) builds nothing.
+		if cache == nil {
+			fail(fmt.Errorf("-warm requires -cache-dir"))
+		}
+		start := time.Now()
+		w, err := episim.WarmSweep(ctx, spec, &episim.SweepOptions{Cache: cache})
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweep: canceled")
+			os.Exit(130)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: warmed %d populations + %d placements in %v (%d built, %d already cached)\n",
+			w.Populations, w.Placements, time.Since(start).Round(time.Millisecond),
+			w.Built(), w.Placements-w.Built())
+		return
+	}
+
+	cells := spec.Cells()
+	fmt.Fprintf(os.Stderr, "sweep: %d cells × %d replicates = %d simulations\n",
+		len(cells), spec.Replicates, len(cells)*spec.Replicates)
+
 	start := time.Now()
-	res, err := episim.RunSweepContext(ctx, spec, nil)
+	res, err := episim.RunSweepContext(ctx, spec, &episim.SweepOptions{Cache: cache})
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "sweep: canceled")
 		os.Exit(130)
@@ -105,8 +144,16 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%d unique placements built)\n",
-		res.Simulations, elapsed.Round(time.Millisecond), len(res.PlacementBuilds))
+	builds := 0
+	for _, n := range res.PlacementBuilds {
+		builds += n
+	}
+	line := fmt.Sprintf("sweep: %d simulations in %v (%d placements built",
+		res.Simulations, elapsed.Round(time.Millisecond), builds)
+	if cache != nil {
+		line += fmt.Sprintf(", %d loaded from cache dir", cache.PlacementStats().DiskHits)
+	}
+	fmt.Fprintln(os.Stderr, line+")")
 
 	emit := func(path string, write func(io.Writer) error) {
 		if path == "" {

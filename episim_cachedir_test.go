@@ -1,0 +1,169 @@
+package episim_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	episim "repro"
+)
+
+// cacheDirSpec is a small grid that exercises both strategies and the
+// splitLoc preprocessing, so the placement artifacts carry split stats
+// and partition quality through the codec.
+func cacheDirSpec() *episim.SweepSpec {
+	s := &episim.SweepSpec{
+		Populations: []episim.SweepPopulation{{Name: "cachetown", People: 500, Locations: 50}},
+		Placements: []episim.SweepPlacement{
+			{Strategy: "RR", Ranks: 4},
+			{Strategy: "GP", SplitLoc: true, Ranks: 4},
+		},
+		Scenarios:         []episim.SweepScenario{{Name: "baseline"}},
+		Replicates:        3,
+		Days:              10,
+		Seed:              99,
+		InitialInfections: 5,
+	}
+	s.Normalize()
+	return s
+}
+
+func runWithDir(t *testing.T, dir string) (*episim.SweepResult, *episim.SweepCache, []byte) {
+	t.Helper()
+	cache, err := episim.NewSweepCacheDir(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := episim.RunSweepContext(context.Background(), cacheDirSpec(), &episim.SweepOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return res, cache, js.Bytes()
+}
+
+// TestSweepCacheDirWarmRun is the acceptance test for the persistent
+// placement cache: a second process (modeled as a fresh cache over the
+// same directory) performs ZERO placement builds and produces
+// byte-identical aggregate JSON to the cold run.
+func TestSweepCacheDirWarmRun(t *testing.T) {
+	dir := t.TempDir()
+
+	cold, coldCache, coldJSON := runWithDir(t, dir)
+	for key, n := range cold.PlacementBuilds {
+		if n != 1 {
+			t.Fatalf("cold run built %q %d times, want 1", key, n)
+		}
+	}
+	if st := coldCache.PlacementStats(); st.Builds != 2 || st.DiskWrites != 2 {
+		t.Fatalf("cold placement cache stats = %+v, want 2 builds written through", st)
+	}
+	if pop, pl, ok := coldCache.StoreStats(); !ok || pop.Files != 1 || pl.Files != 2 {
+		t.Fatalf("store stats = %+v / %+v / %v, want 1 population + 2 placement artifacts", pop, pl, ok)
+	}
+
+	warm, warmCache, warmJSON := runWithDir(t, dir)
+	for key, n := range warm.PopulationBuilds {
+		if n != 0 {
+			t.Fatalf("warm run generated population %q %d times, want 0", key, n)
+		}
+	}
+	for key, n := range warm.PlacementBuilds {
+		if n != 0 {
+			t.Fatalf("warm run built placement %q %d times, want 0", key, n)
+		}
+	}
+	st := warmCache.PlacementStats()
+	if st.Builds != 0 || st.DiskHits != 2 {
+		t.Fatalf("warm placement cache stats = %+v, want 0 builds / 2 disk hits", st)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatal("warm run JSON differs from cold run JSON")
+	}
+}
+
+// TestSweepCacheDirCorruptArtifactRebuilds: damage one placement
+// artifact on disk; the next run treats it as a miss, rebuilds, rewrites
+// it, and still produces identical output.
+func TestSweepCacheDirCorruptArtifactRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	_, _, coldJSON := runWithDir(t, dir)
+
+	// Truncate every placement artifact (simulating torn writes).
+	var damaged int
+	err := filepath.Walk(filepath.Join(dir, "placements"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".art" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		damaged++
+		return os.WriteFile(path, data[:len(data)*2/3], 0o644)
+	})
+	if err != nil || damaged != 2 {
+		t.Fatalf("damaged %d artifacts (%v), want 2", damaged, err)
+	}
+
+	res, cache, js := runWithDir(t, dir)
+	for key, n := range res.PlacementBuilds {
+		if n != 1 {
+			t.Fatalf("post-corruption run built %q %d times, want 1 (rebuild)", key, n)
+		}
+	}
+	st := cache.PlacementStats()
+	if st.DiskErrors != 2 || st.Builds != 2 || st.DiskWrites != 2 {
+		t.Fatalf("stats = %+v, want 2 disk errors, 2 rebuilds, 2 re-writes", st)
+	}
+	if !bytes.Equal(coldJSON, js) {
+		t.Fatal("rebuilt run JSON differs")
+	}
+
+	// And the rewrite healed the store: one more run is fully warm.
+	res2, cache2, _ := runWithDir(t, dir)
+	if cache2.PlacementStats().Builds != 0 {
+		t.Fatalf("healed run still built placements: %+v", res2.PlacementBuilds)
+	}
+}
+
+// TestWarmSweepPopulatesCacheDir: `sweep -warm` semantics — a warm pass
+// builds the artifacts, and a later real run builds nothing.
+func TestWarmSweepPopulatesCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	spec := cacheDirSpec()
+
+	w, err := episim.WarmSweep(context.Background(), spec, &episim.SweepOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Placements != 2 || w.Built() != 2 {
+		t.Fatalf("warm pass = %+v, want 2 placements built", w)
+	}
+
+	// Re-warming against the same directory builds nothing.
+	w2, err := episim.WarmSweep(context.Background(), spec, &episim.SweepOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Built() != 0 {
+		t.Fatalf("second warm pass built %d, want 0", w2.Built())
+	}
+
+	// A real run over the warmed directory: zero builds, via the
+	// SweepOptions.CacheDir path rather than an explicit cache.
+	res, err := episim.RunSweepContext(context.Background(), spec, &episim.SweepOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, n := range res.PlacementBuilds {
+		if n != 0 {
+			t.Fatalf("post-warm run built %q %d times, want 0", key, n)
+		}
+	}
+}

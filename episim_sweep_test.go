@@ -113,10 +113,16 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	if err := res.WriteJSON(&js); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"attack_rate"`, `"quantile_curves"`, `"placement_builds"`} {
+	for _, want := range []string{`"attack_rate"`, `"quantile_curves"`} {
 		if !strings.Contains(js.String(), want) {
 			t.Fatalf("JSON missing %s", want)
 		}
+	}
+	// Build accounting is execution state, not result: it must NOT be in
+	// the emitted JSON, or a warm run (0 builds) and a cold run (1 build)
+	// of the same spec could never be byte-identical.
+	if strings.Contains(js.String(), `"placement_builds"`) {
+		t.Fatal("JSON leaks placement_builds execution accounting")
 	}
 
 	byKey := map[string]episim.SweepCellResult{}

@@ -23,8 +23,12 @@ import (
 
 func main() {
 	// Boot the daemon on a loopback port; in production this is
-	// `episimd -addr :8321` in its own process.
-	core := server.New(server.Config{Workers: 8, MaxActive: 2})
+	// `episimd -addr :8321` in its own process (add -cache-dir for a
+	// persistent placement cache and restart-durable results).
+	core, err := server.New(server.Config{Workers: 8, MaxActive: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer core.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -88,26 +92,29 @@ func main() {
 	}
 
 	// Wait for the second sweep too (its terminal event ends the
-	// stream), then pull both results and prove the single shared build.
+	// stream), then pull both results and prove the single shared build
+	// via the daemon's cache counters: two sweeps, one placement build.
 	_ = c.Stream(ctx, ack2.ID, 0, func(client.Event) error { return nil })
 
-	builds := 0
 	for _, id := range []string{ack1.ID, ack2.ID} {
 		res, err := c.Result(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, n := range res.PlacementBuilds {
-			builds += n
-		}
+		fmt.Printf("result %s: %d cells aggregated\n", id, len(res.Cells))
 	}
-	fmt.Printf("placement builds across both sweeps: %d (cache shared one build)\n", builds)
 
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("placement builds across both sweeps: %d (cache shared one build)\n",
+		stats.PlacementCache.Builds)
 	fmt.Printf("daemon stats: %d sweeps, %d cells streamed (%.1f cells/sec), placement cache %d hits / %d misses\n",
 		stats.SweepsTotal, stats.CellsStreamed, stats.CellsPerSec,
 		stats.PlacementCache.Hits, stats.PlacementCache.Misses)
+	if stats.PlacementStore != nil {
+		fmt.Printf("placement store: %d artifacts, %d bytes\n",
+			stats.PlacementStore.Files, stats.PlacementStore.Bytes)
+	}
 }

@@ -1,0 +1,369 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/partition"
+	"repro/internal/splitloc"
+	"repro/internal/synthpop"
+)
+
+// Placement is the serializable form of a built data distribution: the
+// (possibly split) population it simulates plus the rank assignments and
+// provenance. It mirrors the root package's Placement field for field;
+// the root package converts between the two, because importing it here
+// would be a cycle.
+type Placement struct {
+	Pop          *synthpop.Population
+	PersonRank   []int32
+	LocationRank []int32
+	Ranks        int
+	Label        string
+	SplitStats   *splitloc.Stats
+	Quality      *partition.Quality
+}
+
+// EncodePopulation serializes a population to its deterministic binary
+// payload (wrap with Seal before writing to disk).
+func EncodePopulation(p *synthpop.Population) []byte {
+	e := &enc{b: make([]byte, 0, 64+16*len(p.Visits)+8*len(p.Persons))}
+	e.population(p)
+	return e.b
+}
+
+// DecodePopulation parses an EncodePopulation payload. Structural
+// damage wraps ErrInvalid.
+func DecodePopulation(payload []byte) (*synthpop.Population, error) {
+	d := &dec{b: payload}
+	p := d.population()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EncodePlacement serializes a placement (including its embedded
+// population — a split population is private to its placement, so the
+// artifact must be self-contained).
+func EncodePlacement(pl *Placement) []byte {
+	e := &enc{b: make([]byte, 0, 128+16*len(pl.Pop.Visits)+4*(len(pl.PersonRank)+len(pl.LocationRank)))}
+	e.population(pl.Pop)
+	e.i32s(pl.PersonRank)
+	e.i32s(pl.LocationRank)
+	e.u32(uint32(pl.Ranks))
+	e.str(pl.Label)
+	if pl.SplitStats != nil {
+		e.u8(1)
+		s := pl.SplitStats
+		e.f64(s.Threshold)
+		e.u64(uint64(s.NumSplit))
+		e.u64(uint64(s.NumFragments))
+		e.u64(uint64(s.LocationsPre))
+		e.u64(uint64(s.LocationsPost))
+		e.f64(s.MaxLocWeightPre)
+		e.f64(s.MaxLocWeightPost)
+		e.u32(uint32(s.MaxDegreePre))
+		e.u32(uint32(s.MaxDegreePost))
+		e.f64(s.GrowthFrac)
+	} else {
+		e.u8(0)
+	}
+	if pl.Quality != nil {
+		e.u8(1)
+		q := pl.Quality
+		e.u32(uint32(q.K))
+		e.u32(uint32(len(q.PartWeights)))
+		for _, pw := range q.PartWeights {
+			e.i64s(pw)
+		}
+		e.i64s(q.TotalWeights)
+		e.f64s(q.MaxOverAvg)
+		e.u64(uint64(q.EdgeCut))
+		e.u64(uint64(q.MaxPartCut))
+		e.u64(uint64(q.TotalEdgeWeight))
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+// DecodePlacement parses an EncodePlacement payload.
+func DecodePlacement(payload []byte) (*Placement, error) {
+	d := &dec{b: payload}
+	pl := &Placement{}
+	pl.Pop = d.population()
+	pl.PersonRank = d.i32s()
+	pl.LocationRank = d.i32s()
+	pl.Ranks = int(d.u32())
+	pl.Label = d.str()
+	if d.u8() == 1 {
+		s := &splitloc.Stats{}
+		s.Threshold = d.f64()
+		s.NumSplit = int(d.u64())
+		s.NumFragments = int(d.u64())
+		s.LocationsPre = int(d.u64())
+		s.LocationsPost = int(d.u64())
+		s.MaxLocWeightPre = d.f64()
+		s.MaxLocWeightPost = d.f64()
+		s.MaxDegreePre = int32(d.u32())
+		s.MaxDegreePost = int32(d.u32())
+		s.GrowthFrac = d.f64()
+		pl.SplitStats = s
+	}
+	if d.u8() == 1 {
+		q := &partition.Quality{}
+		q.K = int(d.u32())
+		// Each part-weight row costs at least its 8-byte length prefix.
+		n := int(d.u32())
+		if d.err == nil && n >= 0 && uint64(n) <= uint64(d.remaining())/8 {
+			q.PartWeights = make([][]int64, n)
+			for i := range q.PartWeights {
+				q.PartWeights[i] = d.i64s()
+			}
+		} else if d.err == nil {
+			d.fail("part weights count %d overruns payload", n)
+		}
+		q.TotalWeights = d.i64s()
+		q.MaxOverAvg = d.f64s()
+		q.EdgeCut = int64(d.u64())
+		q.MaxPartCut = int64(d.u64())
+		q.TotalEdgeWeight = int64(d.u64())
+		pl.Quality = q
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// population encoding: name, persons, locations, visits, offsets, each
+// as count-prefixed fixed-width records.
+func (e *enc) population(p *synthpop.Population) {
+	e.str(p.Name)
+	e.u64(uint64(len(p.Persons)))
+	for _, pe := range p.Persons {
+		e.u8(uint8(pe.Age))
+		e.u32(uint32(pe.Home))
+	}
+	e.u64(uint64(len(p.Locations)))
+	for _, l := range p.Locations {
+		e.u8(uint8(l.Type))
+		e.u32(uint32(l.NumSub))
+		e.u32(uint32(l.Weight))
+		e.u32(uint32(l.Origin))
+		e.u32(uint32(l.SubBase))
+	}
+	e.u64(uint64(len(p.Visits)))
+	for _, v := range p.Visits {
+		e.u32(uint32(v.Person))
+		e.u32(uint32(v.Loc))
+		e.u32(uint32(v.Sub))
+		e.u16(uint16(v.Start))
+		e.u16(uint16(v.End))
+	}
+	e.i32s(p.PersonVisitOffsets)
+}
+
+func (d *dec) population() *synthpop.Population {
+	p := &synthpop.Population{}
+	p.Name = d.str()
+	if n, ok := d.count(5); ok {
+		p.Persons = make([]synthpop.Person, n)
+		for i := range p.Persons {
+			p.Persons[i].Age = synthpop.AgeGroup(d.u8())
+			p.Persons[i].Home = int32(d.u32())
+		}
+	}
+	if n, ok := d.count(17); ok {
+		p.Locations = make([]synthpop.Location, n)
+		for i := range p.Locations {
+			p.Locations[i].Type = synthpop.LocationType(d.u8())
+			p.Locations[i].NumSub = int32(d.u32())
+			p.Locations[i].Weight = int32(d.u32())
+			p.Locations[i].Origin = int32(d.u32())
+			p.Locations[i].SubBase = int32(d.u32())
+		}
+	}
+	if n, ok := d.count(16); ok {
+		p.Visits = make([]synthpop.Visit, n)
+		for i := range p.Visits {
+			p.Visits[i].Person = int32(d.u32())
+			p.Visits[i].Loc = int32(d.u32())
+			p.Visits[i].Sub = int32(d.u32())
+			p.Visits[i].Start = int16(d.u16())
+			p.Visits[i].End = int16(d.u16())
+		}
+	}
+	p.PersonVisitOffsets = d.i32s()
+	return p
+}
+
+// enc appends fixed-width little-endian fields to a buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) i32s(s []int32) {
+	e.u64(uint64(len(s)))
+	for _, v := range s {
+		e.u32(uint32(v))
+	}
+}
+func (e *enc) i64s(s []int64) {
+	e.u64(uint64(len(s)))
+	for _, v := range s {
+		e.u64(uint64(v))
+	}
+}
+func (e *enc) f64s(s []float64) {
+	e.u64(uint64(len(s)))
+	for _, v := range s {
+		e.f64(v)
+	}
+}
+
+// dec reads the same fields back with sticky-error bounds checking:
+// the first out-of-range read poisons the decoder, every later read
+// returns zero, and finish() reports the failure — so a truncated or
+// garbled payload can never panic or allocate absurdly.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrInvalid}, args...)...)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.remaining() < n {
+		d.fail("need %d bytes at offset %d, have %d", n, d.off, d.remaining())
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (d *dec) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+func (d *dec) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+func (d *dec) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u64 element count and verifies count×elemSize fits in
+// the remaining payload before the caller allocates. The division form
+// cannot overflow, so an adversarial count near 2^64 fails cleanly
+// instead of wrapping past the check into a makeslice panic.
+func (d *dec) count(elemSize int) (int, bool) {
+	n := d.u64()
+	if d.err != nil {
+		return 0, false
+	}
+	if elemSize > 0 && n > uint64(d.remaining())/uint64(elemSize) {
+		d.fail("count %d × %d bytes overruns payload", n, elemSize)
+		return 0, false
+	}
+	return int(n), true
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	s := d.take(int(n))
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+func (d *dec) i32s() []int32 {
+	n, ok := d.count(4)
+	if !ok {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func (d *dec) i64s() []int64 {
+	n, ok := d.count(8)
+	if !ok {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u64())
+	}
+	return out
+}
+
+func (d *dec) f64s() []float64 {
+	n, ok := d.count(8)
+	if !ok {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// finish reports the decoder's sticky error, or flags trailing garbage —
+// a structurally-valid prefix followed by extra bytes is still not the
+// artifact that was sealed.
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrInvalid, len(d.b)-d.off)
+	}
+	return nil
+}

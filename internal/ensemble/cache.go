@@ -3,14 +3,29 @@ package ensemble
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 )
+
+// Tier is a secondary cache tier behind the memory LRU — in practice a
+// content-addressed disk store of encoded artifacts. Load returns
+// ErrTierMiss when the tier has nothing for the key; any other error is
+// a damaged or unreadable artifact, which the cache also treats as a
+// miss (counted separately) and heals by rebuilding and re-storing.
+// Implementations must be safe for concurrent use.
+type Tier interface {
+	Load(key string) (any, error)
+	Store(key string, val any) error
+}
+
+// ErrTierMiss reports that a tier holds no value for a key.
+var ErrTierMiss = errors.New("ensemble: not in cache tier")
 
 // Cache is a content-keyed build-once cache designed to outlive a single
 // sweep: the server keeps one per process so placements built for one
 // request are reused by every later request with the same content key.
 //
-// It combines three mechanisms:
+// It combines four mechanisms:
 //
 //   - singleflight: the first caller of a key runs the build while
 //     concurrent callers of the same key block until it finishes, then
@@ -19,8 +34,16 @@ import (
 //   - an LRU byte bound: completed entries are charged their sized bytes
 //     and evicted least-recently-used once MaxBytes is exceeded (0 means
 //     unbounded), so a long-running daemon cannot grow without limit;
-//   - accounting: hits, misses, builds and evictions are counted, which
-//     is how tests (and the /v1/stats endpoint) prove sharing works.
+//   - an optional disk tier: memory misses first try Tier.Load (under
+//     the same singleflight guard, so one disk read serves all waiters,
+//     and a loaded value is promoted into the memory LRU); successful
+//     builds write through to the tier, so a fresh process — or a
+//     restarted daemon — inherits every placement any earlier run built.
+//     Corrupt, stale or wrong-version artifacts surface as load errors
+//     and are rebuilt, never fatal;
+//   - accounting: hits, misses, builds and evictions per tier, which is
+//     how tests (and the /v1/stats endpoint) prove sharing works — and
+//     how a warm run proves it built nothing (Builds stays 0).
 //
 // Failed builds are NOT retained: waiters in flight observe the error,
 // then the key is forgotten so a later request may retry — a transient
@@ -29,11 +52,15 @@ type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	sizer    func(any) int64
+	disk     Tier // nil = memory-only
 	entries  map[string]*cacheEntry
 	lru      *list.List // front = most recent; completed entries only
 	bytes    int64
 
 	hits, misses, evictions int64
+	builds                  int64
+	diskHits, diskMisses    int64
+	diskWrites, diskErrors  int64
 }
 
 type cacheEntry struct {
@@ -58,6 +85,14 @@ func NewCache(maxBytes int64, sizer func(any) int64) *Cache {
 		entries:  map[string]*cacheEntry{},
 		lru:      list.New(),
 	}
+}
+
+// WithDisk attaches a disk tier behind the memory LRU and returns the
+// cache. Call before the cache is shared; the tier is not swappable
+// under load.
+func (c *Cache) WithDisk(t Tier) *Cache {
+	c.disk = t
+	return c
 }
 
 // newBuildCache is the private per-run flavor: unbounded, entry-counted.
@@ -90,9 +125,38 @@ func (c *Cache) get(ctx context.Context, key string, build func() (any, error)) 
 	c.misses++
 	c.mu.Unlock()
 
+	// Memory miss. Try the disk tier first — still under the entry's
+	// singleflight guard, so concurrent callers share one disk read the
+	// same way they share one build. A disk hit is promoted into the
+	// memory LRU and does NOT count as a build (the warm-run guarantee).
+	if c.disk != nil {
+		if v, err := c.disk.Load(key); err == nil {
+			c.mu.Lock()
+			c.diskHits++
+			e.val = v
+			e.bytes = c.sizer(e.val)
+			e.elem = c.lru.PushFront(e)
+			c.bytes += e.bytes
+			c.evict()
+			c.mu.Unlock()
+			close(e.ready)
+			return e.val, false, nil
+		} else {
+			c.mu.Lock()
+			c.diskMisses++
+			if !errors.Is(err, ErrTierMiss) {
+				// Corrupt/stale/unreadable artifact: counted, rebuilt,
+				// and overwritten by the write-through below.
+				c.diskErrors++
+			}
+			c.mu.Unlock()
+		}
+	}
+
 	e.val, e.err = build()
 
 	c.mu.Lock()
+	c.builds++
 	if e.err != nil {
 		// Forget failed builds: waiters holding e still see the error,
 		// but the next get of this key retries.
@@ -107,6 +171,19 @@ func (c *Cache) get(ctx context.Context, key string, build func() (any, error)) 
 	}
 	c.mu.Unlock()
 	close(e.ready)
+	if e.err == nil && c.disk != nil {
+		// Write-through after waiters are released: persistence must not
+		// delay the sweeps blocked on this value, and a failed write only
+		// costs a rebuild in some later process.
+		err := c.disk.Store(key, e.val)
+		c.mu.Lock()
+		if err != nil {
+			c.diskErrors++
+		} else {
+			c.diskWrites++
+		}
+		c.mu.Unlock()
+	}
 	return e.val, true, e.err
 }
 
@@ -156,12 +233,22 @@ func (c *Cache) evict() {
 }
 
 // CacheStats is a point-in-time snapshot of a Cache's accounting.
+// Hits/Misses/Evictions describe the memory tier; the Disk* counters
+// describe the disk tier (all zero for a memory-only cache). Builds
+// counts actual build-function executions — the number every cache tier
+// exists to minimize, and the number a fully warm run holds at zero.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	Builds    int64 `json:"builds"`
+
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"`
 }
 
 // Stats snapshots the cache counters.
@@ -174,5 +261,11 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Builds:    c.builds,
+
+		DiskHits:   c.diskHits,
+		DiskMisses: c.diskMisses,
+		DiskWrites: c.diskWrites,
+		DiskErrors: c.diskErrors,
 	}
 }

@@ -77,10 +77,13 @@ type SweepResult struct {
 	// PopulationBuilds and PlacementBuilds count, per content key this
 	// run requested, how many times the run actually generated or
 	// partitioned it — exactly 1 per key for a fresh cache, 0 when a
-	// shared cache already held it (so summing across concurrent
-	// requests proves a single build).
-	PopulationBuilds map[string]int `json:"population_builds"`
-	PlacementBuilds  map[string]int `json:"placement_builds"`
+	// shared or disk-backed cache already held it (so summing across
+	// concurrent requests proves a single build). Like Workers, they are
+	// execution accounting, not part of the result: a cold and a warm
+	// run of the same spec must emit byte-identical JSON, so neither map
+	// is serialized.
+	PopulationBuilds map[string]int `json:"-"`
+	PlacementBuilds  map[string]int `json:"-"`
 	// Simulations is the total number of replicate runs executed.
 	Simulations int `json:"simulations"`
 }
@@ -189,19 +192,31 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 	// pool most-expensive-first (LPT). Ties and the nil-predictor case
 	// keep grid order; results are grid-indexed so ordering never
 	// affects output bytes.
+	//
+	// Cold placements are priced by an analytic estimate; the moment a
+	// placement build completes, the predictor can price exactly (it
+	// peeks the now-populated cache), so the feeder re-prices and
+	// re-sorts the cells not yet dispatched — the warm-up pass that
+	// fixes LPT's makespan on mixed exact/estimated grids. repriceGen
+	// counts completed placement builds; the feeder re-sorts whenever it
+	// observes a new generation.
 	order := make([]int, len(cells))
 	for i := range order {
 		order[i] = i
 	}
-	if opts.PredictCost != nil {
-		costs := make([]float64, len(cells))
-		for i, c := range cells {
-			costs[i] = opts.PredictCost(c, spec)
+	costs := make([]float64, len(cells))
+	reprice := func(idxs []int) {
+		for _, ci := range idxs {
+			costs[ci] = opts.PredictCost(cells[ci], spec)
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return costs[order[a]] > costs[order[b]]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return costs[idxs[a]] > costs[idxs[b]]
 		})
 	}
+	if opts.PredictCost != nil {
+		reprice(order)
+	}
+	var repriceGen atomic.Int64
 
 	// Per-cell completion state: remaining replicates, the first error,
 	// and the finalized result — all under one mutex that also publishes
@@ -307,6 +322,14 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 		if err := priorFail(plKey); err != nil {
 			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
 		}
+		// The predictor prices exactly only what it can Peek; note
+		// whether this key is about to transition from estimated to
+		// exact (via a build OR a disk-tier promotion) so the feeder
+		// re-prices its remaining queue either way.
+		wasPeekable := true
+		if opts.PredictCost != nil {
+			_, wasPeekable = plCache.Peek(plKey)
+		}
 		pl, built, err := plCache.get(ctx, plKey, func() (any, error) {
 			return hooks.BuildPlacement(pop, cell.Placement, popSeed)
 		})
@@ -318,6 +341,9 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
 		}
 		plCounts.record(plKey, built)
+		if !wasPeekable {
+			repriceGen.Add(1)
+		}
 
 		sims.Add(1)
 		res, err := hooks.Simulate(pl, Job{
@@ -364,8 +390,23 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 		}()
 	}
 
+	// The feeder dispatches cell by cell from a mutable priority queue:
+	// before popping the next cell it checks whether any placement build
+	// completed since it last priced the queue, and if so re-prices and
+	// re-sorts what's left (exact machine-model costs replace analytic
+	// estimates as placements materialize).
+	pending := order
+	var pricedGen int64
 feed:
-	for _, ci := range order {
+	for len(pending) > 0 {
+		if opts.PredictCost != nil {
+			if g := repriceGen.Load(); g != pricedGen {
+				pricedGen = g
+				reprice(pending)
+			}
+		}
+		ci := pending[0]
+		pending = pending[1:]
 		for r := 0; r < spec.Replicates; r++ {
 			select {
 			case jobs <- job{cellIdx: ci, replicate: r}:

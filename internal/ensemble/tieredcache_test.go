@@ -1,0 +1,205 @@
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeTier is an in-memory stand-in for the disk tier: a map of encoded
+// values plus injectable corruption and call accounting.
+type fakeTier struct {
+	mu      sync.Mutex
+	m       map[string]any
+	corrupt map[string]bool // Load returns a non-miss error
+	loads   int
+	stores  int
+	failPut bool
+}
+
+func newFakeTier() *fakeTier {
+	return &fakeTier{m: map[string]any{}, corrupt: map[string]bool{}}
+}
+
+func (t *fakeTier) Load(key string) (any, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loads++
+	if t.corrupt[key] {
+		return nil, fmt.Errorf("fake tier: checksum mismatch for %q", key)
+	}
+	v, ok := t.m[key]
+	if !ok {
+		return nil, ErrTierMiss
+	}
+	return v, nil
+}
+
+func (t *fakeTier) Store(key string, val any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stores++
+	if t.failPut {
+		return errors.New("fake tier: disk full")
+	}
+	t.m[key] = val
+	delete(t.corrupt, key)
+	return nil
+}
+
+// TestTieredCacheWriteThroughAndPromote is the tier contract end to end:
+// a build writes through to disk; a fresh memory cache over the same
+// tier serves the key from disk with zero builds and promotes it into
+// the memory LRU (the second get is a pure memory hit).
+func TestTieredCacheWriteThroughAndPromote(t *testing.T) {
+	tier := newFakeTier()
+	ctx := context.Background()
+
+	cold := NewCache(0, nil).WithDisk(tier)
+	builds := 0
+	build := func() (any, error) { builds++; return "placement", nil }
+	v, built, err := cold.get(ctx, "k", build)
+	if err != nil || v != "placement" || !built {
+		t.Fatalf("cold get: v=%v built=%v err=%v", v, built, err)
+	}
+	st := cold.Stats()
+	if st.Builds != 1 || st.DiskMisses != 1 || st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	// Fresh memory cache, same tier: the "restarted process" case.
+	warm := NewCache(0, nil).WithDisk(tier)
+	v, built, err = warm.get(ctx, "k", func() (any, error) {
+		t.Error("warm get must not build")
+		return nil, nil
+	})
+	if err != nil || v != "placement" || built {
+		t.Fatalf("warm get: v=%v built=%v err=%v", v, built, err)
+	}
+	st = warm.Stats()
+	if st.Builds != 0 || st.DiskHits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	// Promoted: the next get never touches the tier.
+	loadsBefore := tier.loads
+	if v, _, err := warm.get(ctx, "k", nil); err != nil || v != "placement" {
+		t.Fatalf("promoted get: %v, %v", v, err)
+	}
+	if tier.loads != loadsBefore {
+		t.Fatal("memory hit went back to disk")
+	}
+	if builds != 1 {
+		t.Fatalf("total builds = %d, want 1", builds)
+	}
+}
+
+// TestTieredCacheCorruptArtifactRebuilds: a damaged disk artifact is a
+// counted miss, the value is rebuilt, and the write-through heals the
+// tier for the next process.
+func TestTieredCacheCorruptArtifactRebuilds(t *testing.T) {
+	tier := newFakeTier()
+	tier.m["k"] = "stale"
+	tier.corrupt["k"] = true
+
+	c := NewCache(0, nil).WithDisk(tier)
+	v, built, err := c.get(context.Background(), "k", func() (any, error) { return "rebuilt", nil })
+	if err != nil || v != "rebuilt" || !built {
+		t.Fatalf("get over corrupt tier: v=%v built=%v err=%v", v, built, err)
+	}
+	st := c.Stats()
+	if st.DiskErrors != 1 || st.DiskMisses != 1 || st.Builds != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Healed: a fresh cache now loads the rebuilt value.
+	c2 := NewCache(0, nil).WithDisk(tier)
+	v, built, err = c2.get(context.Background(), "k", nil)
+	if err != nil || v != "rebuilt" || built {
+		t.Fatalf("healed get: v=%v built=%v err=%v", v, built, err)
+	}
+}
+
+// TestTieredCacheStoreFailureIsNonFatal: the build's value is served
+// even when persisting it fails; the error is only counted.
+func TestTieredCacheStoreFailureIsNonFatal(t *testing.T) {
+	tier := newFakeTier()
+	tier.failPut = true
+	c := NewCache(0, nil).WithDisk(tier)
+	v, built, err := c.get(context.Background(), "k", func() (any, error) { return "v", nil })
+	if err != nil || v != "v" || !built {
+		t.Fatalf("get: v=%v built=%v err=%v", v, built, err)
+	}
+	if st := c.Stats(); st.DiskErrors != 1 || st.DiskWrites != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Value still cached in memory despite the failed spill.
+	if v, _, err := c.get(context.Background(), "k", nil); err != nil || v != "v" {
+		t.Fatalf("memory survived: %v, %v", v, err)
+	}
+}
+
+// TestTieredCacheSingleflightCoversDiskLoad: concurrent callers of an
+// uncached key share one disk read, exactly as they share one build.
+func TestTieredCacheSingleflightCoversDiskLoad(t *testing.T) {
+	tier := newFakeTier()
+	tier.m["k"] = "on-disk"
+	c := NewCache(0, nil).WithDisk(tier)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var builds atomic.Int64
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := c.get(context.Background(), "k", func() (any, error) {
+				builds.Add(1)
+				return nil, errors.New("must not build")
+			})
+			if err != nil || v != "on-disk" {
+				t.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if builds.Load() != 0 {
+		t.Fatalf("builds = %d, want 0", builds.Load())
+	}
+	if tier.loads != 1 {
+		t.Fatalf("disk loads = %d, want 1 (singleflight)", tier.loads)
+	}
+	if st := c.Stats(); st.DiskHits != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTieredCacheEvictionKeepsDiskCopy: memory eviction forgets only the
+// memory copy — re-getting an evicted key is a disk hit, not a rebuild.
+func TestTieredCacheEvictionKeepsDiskCopy(t *testing.T) {
+	tier := newFakeTier()
+	c := NewCache(8, func(any) int64 { return 4 }).WithDisk(tier)
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} { // c evicts a
+		if _, _, err := c.get(ctx, k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Builds != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	v, built, err := c.get(ctx, "a", func() (any, error) {
+		t.Error("evicted key must reload from disk, not rebuild")
+		return nil, nil
+	})
+	if err != nil || v != "a" || built {
+		t.Fatalf("reload: v=%v built=%v err=%v", v, built, err)
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

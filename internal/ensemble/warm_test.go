@@ -1,0 +1,157 @@
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/synthpop"
+)
+
+// TestWarmContextBuildsEachKeyOnce: a warm pass over a cold cache builds
+// every unique population and placement exactly once; a second pass over
+// the same caches builds nothing.
+func TestWarmContextBuildsEachKeyOnce(t *testing.T) {
+	f := &fakeHooks{}
+	popCache := NewCache(0, nil)
+	plCache := NewCache(0, nil)
+	opts := &RunOptions{PopulationCache: popCache, PlacementCache: plCache}
+	spec := testSpec() // 2 pops × 2 placements (scenarios don't add placements)
+
+	w, err := WarmContext(context.Background(), spec, f.hooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Populations != 2 || w.Placements != 4 {
+		t.Fatalf("warm result = %+v, want 2 populations / 4 placements", w)
+	}
+	if w.Built() != 4 || f.plBuilds.Load() != 4 || f.popBuilds.Load() != 2 {
+		t.Fatalf("cold warm pass built %d placements (%d engine calls), want 4",
+			w.Built(), f.plBuilds.Load())
+	}
+
+	w2, err := WarmContext(context.Background(), spec, f.hooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Built() != 0 || f.plBuilds.Load() != 4 {
+		t.Fatalf("second warm pass built %d, want 0", w2.Built())
+	}
+	if st := plCache.Stats(); st.Builds != 4 {
+		t.Fatalf("placement cache builds = %d, want 4", st.Builds)
+	}
+
+	// A real run over the warmed caches builds nothing either.
+	res, err := RunContext(context.Background(), spec, f.hooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, n := range res.PlacementBuilds {
+		if n != 0 {
+			t.Fatalf("post-warm run built placement %q %d times, want 0", key, n)
+		}
+	}
+}
+
+func TestWarmContextPropagatesBuildError(t *testing.T) {
+	f := &fakeHooks{}
+	h := f.hooks()
+	boom := errors.New("partitioner exploded")
+	orig := h.BuildPlacement
+	h.BuildPlacement = func(pop *synthpop.Population, ps PlacementSpec, seed uint64) (any, error) {
+		if ps.Strategy == "GP" {
+			return nil, boom
+		}
+		return orig(pop, ps, seed)
+	}
+	_, err := WarmContext(context.Background(), testSpec(), h, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the build failure", err)
+	}
+}
+
+// TestRepriceAfterFirstBuild: once the first placement build completes,
+// the feeder re-invokes the cost predictor for the cells it has not yet
+// dispatched — exact prices replacing cold analytic estimates.
+func TestRepriceAfterFirstBuild(t *testing.T) {
+	f := &fakeHooks{}
+	spec := testSpec()
+	spec.Populations = spec.Populations[:1]
+	spec.Scenarios = spec.Scenarios[:1] // 2 cells: one per placement
+	spec.Replicates = 2
+	spec.Workers = 1 // unbuffered handoff: the feeder blocks behind the worker
+
+	var mu sync.Mutex
+	calls := map[int]int{} // cell index -> predictor invocations
+	_, err := RunContext(context.Background(), spec, f.hooks(), &RunOptions{
+		PredictCost: func(c Cell, s *Spec) float64 {
+			mu.Lock()
+			calls[c.Index]++
+			mu.Unlock()
+			return float64(len(spec.Placements) - c.Index) // keep grid order
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial pricing touches both cells once. Cell 0's replicates
+	// dispatch first; its placement build completes while the feeder is
+	// blocked handing over replicate 1, so before cell 1 dispatches the
+	// feeder observes the new build generation and re-prices the
+	// remaining queue — cell 1 must have been priced at least twice.
+	if calls[1] < 2 {
+		t.Fatalf("predictor calls per cell = %v; cell 1 never re-priced after first build", calls)
+	}
+}
+
+// TestRepriceAfterDiskPromotion: a placement loaded from the disk tier
+// (zero builds) becomes exactly priceable too, so the warm-run path —
+// the one the persistent cache exists for — must also trigger the
+// feeder's re-pricing pass.
+func TestRepriceAfterDiskPromotion(t *testing.T) {
+	f := &fakeHooks{}
+	spec := testSpec()
+	spec.Populations = spec.Populations[:1]
+	spec.Scenarios = spec.Scenarios[:1]
+	spec.Replicates = 2
+	spec.Workers = 1
+
+	// Cold pass populates the shared fake disk tier.
+	tier := newFakeTier()
+	cold := &RunOptions{
+		PopulationCache: NewCache(0, nil).WithDisk(newFakeTier()),
+		PlacementCache:  NewCache(0, nil).WithDisk(tier),
+	}
+	if _, err := RunContext(context.Background(), spec, f.hooks(), cold); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm pass: fresh memory caches over the warm tier — every
+	// placement is a disk hit, zero builds, and the predictor is still
+	// re-invoked for the undispatched remainder.
+	var mu sync.Mutex
+	calls := map[int]int{}
+	warm := &RunOptions{
+		PopulationCache: NewCache(0, nil),
+		PlacementCache:  NewCache(0, nil).WithDisk(tier),
+		PredictCost: func(c Cell, s *Spec) float64 {
+			mu.Lock()
+			calls[c.Index]++
+			mu.Unlock()
+			return float64(len(spec.Placements) - c.Index)
+		},
+	}
+	res, err := RunContext(context.Background(), spec, f.hooks(), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, n := range res.PlacementBuilds {
+		if n != 0 {
+			t.Fatalf("warm run built %q %d times, want 0", key, n)
+		}
+	}
+	if calls[1] < 2 {
+		t.Fatalf("predictor calls per cell = %v; disk promotion never triggered re-pricing", calls)
+	}
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	episim "repro"
+	"repro/client"
+)
+
+// instantRunner completes every cell immediately — persistence tests
+// care about what happens AFTER sweeps finish.
+func instantRunner() sweepRunner {
+	step := make(chan struct{})
+	close(step)
+	return scriptedRunner(step)
+}
+
+// runToDone submits a spec and waits for the job to finish.
+func runToDone(t *testing.T, c *client.Client, spec *episim.SweepSpec) string {
+	t.Helper()
+	ack, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, c, ack.ID); st.State != client.StateDone {
+		t.Fatalf("job %s ended %s (%s)", ack.ID, st.State, st.Error)
+	}
+	return ack.ID
+}
+
+func getBody(t *testing.T, c *client.Client, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(c.BaseURL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestResultSurvivesDaemonRestart is the durability acceptance test: a
+// finished sweep's /result — byte for byte — and its status remain
+// servable from a brand-new server process over the same cache dir, and
+// the id sequence continues instead of colliding with persisted jobs.
+func TestResultSurvivesDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, MaxActive: 1, CacheDir: dir}
+
+	srv1, err := newWithRunner(cfg, instantRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL)
+	id := runToDone(t, c1, testServerSpec())
+	code, body1 := getBody(t, c1, "/v1/sweeps/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("pre-restart result: HTTP %d", code)
+	}
+	srv1.Close()
+	ts1.Close()
+
+	// "Restart": a fresh server over the same directory.
+	srv2, err := newWithRunner(cfg, instantRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { srv2.Close(); ts2.Close() }()
+	c2 := client.New(ts2.URL)
+
+	code, body2 := getBody(t, c2, "/v1/sweeps/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart result: HTTP %d: %s", code, body2)
+	}
+	if body1 != body2 {
+		t.Fatal("result bytes changed across restart")
+	}
+	st, err := c2.Status(context.Background(), id)
+	if err != nil || st.State != client.StateDone || st.Cells != 3 {
+		t.Fatalf("post-restart status = %+v, %v", st, err)
+	}
+	// The restored job appears in the listing and the id sequence
+	// continues past it — no collision between old and new sweeps.
+	jobs, err := c2.List(context.Background())
+	if err != nil || len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("post-restart list = %+v, %v", jobs, err)
+	}
+	id2 := runToDone(t, c2, testServerSpec())
+	if id2 == id {
+		t.Fatalf("restarted daemon reused job id %s", id)
+	}
+	// The restored job's event stream replays its terminal event and
+	// ends — it must not hang a subscriber.
+	events, errc := collectStream(context.Background(), c2, id, 0)
+	ev := waitEvent(t, events)
+	if ev.Type != "done" {
+		t.Fatalf("archived stream event = %q, want done", ev.Type)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	if st := srv2.stats(); st.ResultStore == nil || st.ResultStore.Files != 2 {
+		t.Fatalf("result store stats = %+v, want 2 persisted jobs", st.ResultStore)
+	}
+}
+
+// TestRetentionEvictsToDiskButStaysServable is the regression test for
+// the bounded index: with Retain=1, old finished sweeps leave the
+// memory index (list stays short and ordered) yet their status AND
+// result remain directly addressable — rehydrated from disk.
+func TestRetentionEvictsToDiskButStaysServable(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, Config{Workers: 1, MaxActive: 1, CacheDir: dir, Retain: 1}, instantRunner())
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, runToDone(t, c, testServerSpec()))
+	}
+
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != ids[2] {
+		t.Fatalf("list = %+v, want only the newest finished job %s", jobs, ids[2])
+	}
+	if st := srv.stats(); st.SweepsEvicted != 2 {
+		t.Fatalf("evicted = %d, want 2", st.SweepsEvicted)
+	}
+
+	// Evicted-but-on-disk jobs still answer by id.
+	for _, id := range ids[:2] {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			t.Fatalf("status of evicted job %s: %v", id, err)
+		}
+		if st.State != client.StateDone || st.Cells != 3 {
+			t.Fatalf("evicted job %s status = %+v", id, st)
+		}
+		res, err := c.Result(context.Background(), id)
+		if err != nil {
+			t.Fatalf("result of evicted job %s: %v", id, err)
+		}
+		if len(res.Cells) != 3 {
+			t.Fatalf("evicted job %s result has %d cells", id, len(res.Cells))
+		}
+	}
+
+	// Cancel on an evicted (terminal) job conflicts instead of crashing.
+	resp, err := http.Post(c.BaseURL+"/v1/sweeps/"+ids[0]+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel evicted job: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestQueuedCancelPersisted: canceling a job that never ran still
+// reaches the disk store — after a restart its canceled status is
+// servable (and /result is a permanent 410, not a 404).
+func TestQueuedCancelPersisted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, MaxActive: 1, CacheDir: dir}
+	step := make(chan struct{}) // never stepped: the running job blocks
+	srv1, err := newWithRunner(cfg, scriptedRunner(step))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL)
+	ctx := context.Background()
+
+	blocker, err := c1.Submit(ctx, testServerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c1, blocker.ID, client.StateRunning)
+	queued, err := c1.Submit(ctx, testServerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, c1, queued.ID); st.State != client.StateCanceled {
+		t.Fatalf("queued job ended %s, want canceled", st.State)
+	}
+	srv1.Close()
+	ts1.Close()
+
+	srv2, err := newWithRunner(cfg, instantRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { srv2.Close(); ts2.Close() }()
+	c2 := client.New(ts2.URL)
+	st, err := c2.Status(ctx, queued.ID)
+	if err != nil || st.State != client.StateCanceled {
+		t.Fatalf("post-restart status of queued-canceled job = %+v, %v", st, err)
+	}
+	if code, _ := getBody(t, c2, "/v1/sweeps/"+queued.ID+"/result"); code != http.StatusGone {
+		t.Fatalf("result of canceled job: HTTP %d, want 410", code)
+	}
+}
+
+// TestRetentionTTLEvicts: finished jobs older than ResultTTL leave the
+// memory index on the next store pass.
+func TestRetentionTTLEvicts(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, Config{Workers: 1, MaxActive: 1, CacheDir: dir, ResultTTL: time.Hour}, instantRunner())
+
+	id := runToDone(t, c, testServerSpec())
+	// Jump the store's clock two hours ahead; the next list() evicts.
+	srv.store.mu.Lock()
+	srv.store.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	srv.store.mu.Unlock()
+
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("list after TTL = %+v, want empty", jobs)
+	}
+	// Still on disk.
+	if st, err := c.Status(context.Background(), id); err != nil || st.State != client.StateDone {
+		t.Fatalf("TTL-evicted status = %+v, %v", st, err)
+	}
+}
+
+// TestRetentionWithoutDiskIsBounded: a memory-only daemon with Retain
+// still bounds its index; evicted jobs are gone (404), which is the
+// documented trade.
+func TestRetentionWithoutDiskIsBounded(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxActive: 1, Retain: 2}, instantRunner())
+	var ids []string
+	for i := 0; i < 4; i++ {
+		ids = append(ids, runToDone(t, c, testServerSpec()))
+	}
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != ids[2] || jobs[1].ID != ids[3] {
+		t.Fatalf("list = %+v, want the 2 newest in order", jobs)
+	}
+	if _, err := c.Status(context.Background(), ids[0]); err == nil {
+		t.Fatal("evicted memory-only job must 404")
+	}
+}

@@ -84,13 +84,7 @@ func (s *scheduler) queueDepth() int {
 	s.mu.Lock()
 	ids := append([]string(nil), s.queue...)
 	s.mu.Unlock()
-	n := 0
-	for _, id := range ids {
-		if j, ok := s.store.get(id); ok && !s.store.status(j).State.Terminal() {
-			n++
-		}
-	}
-	return n
+	return s.store.countWaiting(ids)
 }
 
 func (s *scheduler) activeCount() int {

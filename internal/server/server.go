@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/artifact"
 )
 
 // Config sizes one episimd instance.
@@ -24,6 +26,17 @@ type Config struct {
 	// CacheBytes is the LRU bound on retained populations + placements
 	// shared across requests (0 = unbounded).
 	CacheBytes int64
+	// CacheDir, when non-empty, makes the daemon durable: the placement
+	// cache gains a disk tier (CacheDir/populations, CacheDir/placements)
+	// so restarts skip partitioning, and finished sweeps spill to
+	// CacheDir/results so GET /result survives a restart.
+	CacheDir string
+	// Retain caps finished sweeps held in the memory index (0 =
+	// unbounded). Evicted sweeps stay readable from the disk store.
+	Retain int
+	// ResultTTL evicts finished sweeps from the memory index once they
+	// are this old (0 = never).
+	ResultTTL time.Duration
 }
 
 // Server is the episimd service core: job store, scheduler, shared
@@ -36,24 +49,39 @@ type Server struct {
 }
 
 // New builds a server executing sweeps with the real engine.
-func New(cfg Config) *Server {
+func New(cfg Config) (*Server, error) {
 	return newWithRunner(cfg, episim.RunSweepContext)
 }
 
 // newWithRunner lets tests substitute a controllable sweep runner.
-func newWithRunner(cfg Config, run sweepRunner) *Server {
+func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	cache, err := episim.NewSweepCacheDir(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
 	st := newStore()
-	cache := episim.NewSweepCache(cfg.CacheBytes)
+	if cfg.CacheDir != "" {
+		results, err := artifact.NewStore(filepath.Join(cfg.CacheDir, "results"))
+		if err != nil {
+			return nil, err
+		}
+		st = newDurableStore(results, cfg.Retain, cfg.ResultTTL)
+	} else if cfg.Retain > 0 || cfg.ResultTTL > 0 {
+		// Retention without a disk store still bounds memory; evicted
+		// sweeps are simply gone, as documented on the flags.
+		st.retain = cfg.Retain
+		st.ttl = cfg.ResultTTL
+	}
 	slots := episim.NewSweepSlots(cfg.Workers)
 	return &Server{
 		store:   st,
 		sched:   newScheduler(st, cache, slots, cfg.Workers, cfg.MaxActive, run),
 		cache:   cache,
 		started: time.Now(),
-	}
+	}, nil
 }
 
 // Close cancels running sweeps and drains the runner pool.
@@ -133,8 +161,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *job) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
-	res, state := s.store.result(j)
-	if res == nil {
+	raw, state, err := s.store.resultBytes(j)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if raw == nil {
 		// Distinguish "not yet" (retryable 409) from "never": a canceled
 		// or failed run that produced no aggregate is permanent.
 		if state.Terminal() {
@@ -144,9 +176,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
 		writeError(w, http.StatusConflict, "sweep %s is %s; no result yet", j.id, state)
 		return
 	}
+	// Serve the canonical bytes materialized at finish (or reloaded from
+	// the disk store) — identical before and after a daemon restart.
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = res.WriteJSON(w)
+	_, _ = w.Write(raw)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, j *job) {
@@ -252,14 +286,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
 }
 
 func (s *Server) stats() client.StatsReply {
-	total, _, _, done, failed, canceled := s.store.counts()
+	total, _, _, done, failed, canceled, evicted := s.store.counts()
 	uptime := time.Since(s.started).Seconds()
 	cells := s.sched.cellsStreamed.Load()
 	perSec := 0.0
 	if uptime > 0 {
 		perSec = float64(cells) / uptime
 	}
-	return client.StatsReply{
+	reply := client.StatsReply{
 		UptimeSec:       uptime,
 		QueueDepth:      s.sched.queueDepth(),
 		ActiveSweeps:    s.sched.activeCount(),
@@ -267,11 +301,21 @@ func (s *Server) stats() client.StatsReply {
 		SweepsDone:      done,
 		SweepsFailed:    failed,
 		SweepsCanceled:  canceled,
+		SweepsEvicted:   evicted,
 		CellsStreamed:   cells,
 		CellsPerSec:     perSec,
 		PopulationCache: s.cache.PopulationStats(),
 		PlacementCache:  s.cache.PlacementStats(),
 	}
+	if pop, pl, ok := s.cache.StoreStats(); ok {
+		reply.PopulationStore = &pop
+		reply.PlacementStore = &pl
+	}
+	if s.store.results != nil {
+		st := s.store.results.Stats()
+		reply.ResultStore = &st
+	}
+	return reply
 }
 
 // handleMetrics renders the stats snapshot as Prometheus text-format
@@ -290,6 +334,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"episimd_sweeps_done_total", float64(st.SweepsDone)},
 		{"episimd_sweeps_failed_total", float64(st.SweepsFailed)},
 		{"episimd_sweeps_canceled_total", float64(st.SweepsCanceled)},
+		{"episimd_sweeps_evicted_total", float64(st.SweepsEvicted)},
 		{"episimd_cells_streamed_total", float64(st.CellsStreamed)},
 		{"episimd_cells_per_second", st.CellsPerSec},
 		{"episimd_population_cache_entries", float64(st.PopulationCache.Entries)},
@@ -297,12 +342,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"episimd_population_cache_hits_total", float64(st.PopulationCache.Hits)},
 		{"episimd_population_cache_misses_total", float64(st.PopulationCache.Misses)},
 		{"episimd_population_cache_evictions_total", float64(st.PopulationCache.Evictions)},
+		{"episimd_population_cache_builds_total", float64(st.PopulationCache.Builds)},
+		{"episimd_population_cache_disk_hits_total", float64(st.PopulationCache.DiskHits)},
+		{"episimd_population_cache_disk_misses_total", float64(st.PopulationCache.DiskMisses)},
+		{"episimd_population_cache_disk_writes_total", float64(st.PopulationCache.DiskWrites)},
+		{"episimd_population_cache_disk_errors_total", float64(st.PopulationCache.DiskErrors)},
 		{"episimd_placement_cache_entries", float64(st.PlacementCache.Entries)},
 		{"episimd_placement_cache_bytes", float64(st.PlacementCache.Bytes)},
 		{"episimd_placement_cache_hits_total", float64(st.PlacementCache.Hits)},
 		{"episimd_placement_cache_misses_total", float64(st.PlacementCache.Misses)},
 		{"episimd_placement_cache_evictions_total", float64(st.PlacementCache.Evictions)},
+		{"episimd_placement_cache_builds_total", float64(st.PlacementCache.Builds)},
+		{"episimd_placement_cache_disk_hits_total", float64(st.PlacementCache.DiskHits)},
+		{"episimd_placement_cache_disk_misses_total", float64(st.PlacementCache.DiskMisses)},
+		{"episimd_placement_cache_disk_writes_total", float64(st.PlacementCache.DiskWrites)},
+		{"episimd_placement_cache_disk_errors_total", float64(st.PlacementCache.DiskErrors)},
+		{"episimd_population_store_files", storeFiles(st.PopulationStore)},
+		{"episimd_population_store_bytes", storeBytes(st.PopulationStore)},
+		{"episimd_placement_store_files", storeFiles(st.PlacementStore)},
+		{"episimd_placement_store_bytes", storeBytes(st.PlacementStore)},
+		{"episimd_result_store_files", storeFiles(st.ResultStore)},
+		{"episimd_result_store_bytes", storeBytes(st.ResultStore)},
 	} {
 		fmt.Fprintf(w, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
 	}
+}
+
+// storeFiles/storeBytes render optional store stats as gauges (0 when
+// the daemon runs without a cache dir, keeping the metric set stable).
+func storeFiles(st *episim.SweepStoreStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return float64(st.Files)
+}
+
+func storeBytes(st *episim.SweepStoreStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return float64(st.Bytes)
 }

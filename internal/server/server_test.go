@@ -66,7 +66,10 @@ func testServerSpec() *episim.SweepSpec {
 // newTestServer boots a scripted server + HTTP client pair.
 func newTestServer(t *testing.T, cfg Config, run sweepRunner) (*Server, *client.Client) {
 	t.Helper()
-	srv := newWithRunner(cfg, run)
+	srv, err := newWithRunner(cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		srv.Close()
@@ -365,7 +368,6 @@ func TestConcurrentSweepsShareOnePlacementBuild(t *testing.T) {
 	waitTerminal(t, c, ackA.ID)
 	waitTerminal(t, c, ackB.ID)
 
-	builds := 0
 	for _, id := range []string{ackA.ID, ackB.ID} {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -378,18 +380,14 @@ func TestConcurrentSweepsShareOnePlacementBuild(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.PlacementBuilds) != 1 {
-			t.Fatalf("job %s requested %d placement keys, want 1", id, len(res.PlacementBuilds))
-		}
-		for _, n := range res.PlacementBuilds {
-			builds += n
+		if len(res.Cells) != 1 {
+			t.Fatalf("job %s returned %d cells, want 1", id, len(res.Cells))
 		}
 	}
-	if builds != 1 {
-		t.Fatalf("placement builds across two sweeps = %d, want exactly 1 shared build", builds)
-	}
-	if st := srv.cache.PlacementStats(); st.Misses != 1 {
-		t.Fatalf("placement cache stats = %+v, want a single miss", st)
+	// The shared cache's own accounting is the proof: two sweeps, one
+	// miss, one build (build maps are execution state, not wire data).
+	if st := srv.cache.PlacementStats(); st.Misses != 1 || st.Builds != 1 {
+		t.Fatalf("placement cache stats = %+v, want a single miss and build", st)
 	}
 
 	stats, err := c.Stats(ctx)

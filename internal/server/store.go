@@ -12,21 +12,33 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/artifact"
 )
 
 // job is one submitted sweep and its full lifecycle state. All fields
 // after the immutable header are guarded by the owning store's mutex.
 type job struct {
-	id   string
-	spec *episim.SweepSpec
-	hub  *hub
+	id  string
+	hub *hub
+
+	// spec is nil for jobs rehydrated from disk after a restart or
+	// eviction (only their status and result survive; they are terminal,
+	// so nothing needs the spec anymore).
+	spec       *episim.SweepSpec
+	replicates int
 
 	state     client.JobState
 	errMsg    string
@@ -35,26 +47,200 @@ type job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
-	result    *episim.SweepResult
+	// resultJSON is the result's canonical serialization, materialized
+	// once at finish: it is what GET /result serves and what spills to
+	// disk, so the bytes a client sees are identical before and after a
+	// daemon restart.
+	resultJSON []byte
+	// archived marks a job whose payload lives (only) in the disk store.
+	archived  bool
+	hasResult bool
 	// cancel aborts the run's context once the job is running; for
 	// queued jobs cancellation happens by state alone.
 	cancel context.CancelFunc
 }
 
-// store is the in-memory job registry. episimd is deliberately
-// memory-resident (the ROADMAP's persistence item is placement spill,
-// not job history): a restart forgets finished sweeps, and clients that
-// need durability keep the streamed NDJSON.
+// A persisted job is framed as one line of status JSON followed by the
+// result's canonical bytes, verbatim (not nested in JSON — marshalling
+// a RawMessage would compact it, and GET /result must serve the exact
+// bytes across restarts). The artifact envelope checksums the whole
+// record.
+func encodeJobRecord(st client.JobStatus, result []byte) ([]byte, error) {
+	head, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	return append(append(head, '\n'), result...), nil
+}
+
+func decodeJobRecord(payload []byte) (st client.JobStatus, result []byte, err error) {
+	idx := bytes.IndexByte(payload, '\n')
+	if idx < 0 {
+		idx = len(payload)
+	}
+	if err := json.Unmarshal(payload[:idx], &st); err != nil {
+		return st, nil, err
+	}
+	if idx < len(payload) {
+		result = payload[idx+1:]
+	}
+	return st, result, nil
+}
+
+// store is the job registry: an in-memory index with an optional disk
+// tier. Finished sweeps spill to the artifact store write-through; the
+// memory index is bounded by a retention cap and TTL, and lookups that
+// miss memory rehydrate from disk — so GET /result survives both
+// eviction and a full daemon restart, while the daemon's footprint
+// stays flat no matter how many sweeps it has served.
 type store struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string
 	seq   int
 	now   func() time.Time
+
+	// results is the disk tier (nil = memory-only, the pre-persistence
+	// behavior). retain caps terminal jobs in the memory index
+	// (0 = unbounded); ttl evicts terminal jobs by age (0 = never).
+	results *artifact.Store
+	retain  int
+	ttl     time.Duration
+	evicted int64
 }
 
 func newStore() *store {
 	return &store{jobs: map[string]*job{}, now: time.Now}
+}
+
+// newDurableStore builds a store spilling finished jobs to disk, then
+// restores the index from whatever a previous process left there:
+// statuses (not payloads) of the most recent `retain` finished sweeps
+// re-enter the memory index, and the id sequence continues past every
+// persisted job so restarted daemons never reuse an id.
+func newDurableStore(results *artifact.Store, retain int, ttl time.Duration) *store {
+	s := newStore()
+	s.results = results
+	s.retain = retain
+	s.ttl = ttl
+	s.restore()
+	return s
+}
+
+// jobSeq parses the sequence number out of a job id ("sw-000042" → 42).
+// Ids are zero-padded to 6 digits but may grow wider; parse the whole
+// suffix so a daemon past sw-999999 never truncates (and reuses) ids.
+func jobSeq(id string) (int, bool) {
+	digits, ok := strings.CutPrefix(id, "sw-")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// restore scans the disk store and rebuilds the memory index. Damaged
+// records are skipped (their artifacts read as misses); the sequence
+// counter advances past every key that parses, damaged or not.
+func (s *store) restore() {
+	keys, err := s.results.Keys()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "episimd: restore: %v\n", err)
+		return
+	}
+	type restored struct {
+		seq int
+		id  string
+	}
+	var found []restored
+	for _, k := range keys {
+		if k.Kind != artifact.KindJob {
+			continue
+		}
+		n, ok := jobSeq(k.Key)
+		if !ok {
+			continue
+		}
+		if n > s.seq {
+			s.seq = n
+		}
+		found = append(found, restored{seq: n, id: k.Key})
+	}
+	// Restore in sequence order (zero-padding makes key order match up
+	// to sw-999999, but sort by parsed seq so wider ids stay correct),
+	// keeping the most recent `retain` in the index. Older jobs stay
+	// disk-only (addressable by id) and are NOT counted as evictions —
+	// they were never in this process's memory.
+	sort.Slice(found, func(i, j int) bool { return found[i].seq < found[j].seq })
+	if s.retain > 0 && len(found) > s.retain {
+		found = found[len(found)-s.retain:]
+	}
+	// loadArchived reads each record whole (the envelope CRC covers the
+	// full file, so a status-only partial read would be unverifiable);
+	// the payload is dropped right away and the cost is bounded by
+	// `retain` records, once, at boot.
+	for _, r := range found {
+		if j := s.loadArchived(r.id); j != nil {
+			// Index entries hold no payload; GET /result re-reads disk.
+			j.resultJSON = nil
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+		}
+	}
+}
+
+// loadArchived reads one persisted job back as a terminal, archived job
+// (nil when missing or damaged). Its hub replays a single terminal
+// event, so /events on an archived job ends cleanly instead of hanging.
+func (s *store) loadArchived(id string) *job {
+	if s.results == nil {
+		return nil
+	}
+	payload, err := s.results.Get(artifact.KindJob, id)
+	if err != nil {
+		return nil
+	}
+	st, result, err := decodeJobRecord(payload)
+	if err != nil {
+		return nil
+	}
+	j := &job{
+		id:         id,
+		hub:        newHub(),
+		replicates: st.Replicates,
+		state:      st.State,
+		errMsg:     st.Error,
+		cells:      st.Cells,
+		cellsDone:  st.CellsDone,
+		created:    st.Created,
+		archived:   true,
+		hasResult:  len(result) > 0,
+		resultJSON: result,
+	}
+	if st.Started != nil {
+		j.started = *st.Started
+	}
+	if st.Finished != nil {
+		j.finished = *st.Finished
+	}
+	j.hub.publish(client.Event{Type: terminalEventType(j.state), Job: &st})
+	j.hub.close()
+	return j
+}
+
+// terminalEventType maps a terminal state to its stream event type.
+func terminalEventType(st client.JobState) string {
+	switch st {
+	case client.StateFailed:
+		return "error"
+	case client.StateCanceled:
+		return "canceled"
+	default:
+		return "done"
+	}
 }
 
 // add registers a new queued job for spec (already normalized and
@@ -63,24 +249,47 @@ func (s *store) add(spec *episim.SweepSpec) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	// restore() advanced seq past everything persisted, but an id can
+	// still be occupied on disk — e.g. a rolling restart overlapping the
+	// old process, which persisted jobs after this one scanned. Never
+	// hand out an id whose artifact exists, or a later finish() would
+	// overwrite someone else's result. (A cache dir still assumes a
+	// single writer at a time; this guard covers the overlap window,
+	// not sustained multi-daemon writes — that is the ROADMAP's routing
+	// tier.)
+	for s.results != nil && s.results.Has(fmt.Sprintf("sw-%06d", s.seq)) {
+		s.seq++
+	}
 	j := &job{
-		id:      fmt.Sprintf("sw-%06d", s.seq),
-		spec:    spec,
-		hub:     newHub(),
-		state:   client.StateQueued,
-		cells:   len(spec.Cells()),
-		created: s.now(),
+		id:         fmt.Sprintf("sw-%06d", s.seq),
+		spec:       spec,
+		replicates: spec.Replicates,
+		hub:        newHub(),
+		state:      client.StateQueued,
+		cells:      len(spec.Cells()),
+		created:    s.now(),
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.evictLocked()
 	return j
 }
 
+// get returns the job for id: from the memory index, or rehydrated
+// read-only from the disk store when it was evicted (or the daemon
+// restarted past its retention window). Rehydrated jobs are detached —
+// they are not re-inserted, so eviction bounds hold.
 func (s *store) get(id string) (*job, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
-	return j, ok
+	s.mu.Unlock()
+	if ok {
+		return j, true
+	}
+	if j := s.loadArchived(id); j != nil {
+		return j, true
+	}
+	return nil, false
 }
 
 // status snapshots one job under the store lock.
@@ -97,7 +306,7 @@ func (s *store) statusLocked(j *job) client.JobStatus {
 		Error:      j.errMsg,
 		Cells:      j.cells,
 		CellsDone:  j.cellsDone,
-		Replicates: j.spec.Replicates,
+		Replicates: j.replicates,
 		Created:    j.created,
 	}
 	if !j.started.IsZero() {
@@ -111,10 +320,15 @@ func (s *store) statusLocked(j *job) client.JobStatus {
 	return st
 }
 
-// list snapshots every job, oldest first.
+// list snapshots the memory index, oldest first. With retention
+// configured the index — and therefore this listing — is bounded:
+// active jobs plus at most `retain` finished ones, in creation order;
+// older finished sweeps remain individually addressable by id via the
+// disk store.
 func (s *store) list() []client.JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictLocked()
 	out := make([]client.JobStatus, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.statusLocked(s.jobs[id]))
@@ -122,15 +336,46 @@ func (s *store) list() []client.JobStatus {
 	return out
 }
 
-// result returns a finished job's aggregate (nil while running/queued).
-func (s *store) result(j *job) (*episim.SweepResult, client.JobState) {
+// resultBytes returns a finished job's canonical result serialization
+// (nil while running/queued or when the run produced nothing). Archived
+// index entries hold no payload; they re-read the disk store on demand.
+// A job that HAD a result whose artifact can no longer be read returns
+// an error — that is a (possibly transient) server-side failure, not
+// "the run produced nothing", and must not surface as a permanent 410.
+func (s *store) resultBytes(j *job) ([]byte, client.JobState, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return j.result, j.state
+	raw, state, archived, hasResult := j.resultJSON, j.state, j.archived, j.hasResult
+	s.mu.Unlock()
+	if raw == nil && archived && hasResult {
+		if full := s.loadArchived(j.id); full != nil {
+			raw = full.resultJSON
+		}
+		if raw == nil {
+			return nil, state, fmt.Errorf("result artifact for %s unreadable", j.id)
+		}
+	}
+	return raw, state, nil
 }
 
-// counts tallies job states for the stats endpoint.
-func (s *store) counts() (total, queued, running, done, failed, canceled int) {
+// countWaiting reports how many of ids are still non-terminal, checked
+// against the MEMORY index only: queued/running jobs are never evicted,
+// so an id absent from memory is terminal (canceled then evicted) — and
+// the metrics scrape path must not pay a disk rehydration per stale id.
+func (s *store) countWaiting(ids []string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok && !j.state.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// counts tallies memory-index job states plus the eviction counter for
+// the stats endpoint.
+func (s *store) counts() (total, queued, running, done, failed, canceled int, evicted int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
@@ -148,7 +393,7 @@ func (s *store) counts() (total, queued, running, done, failed, canceled int) {
 			canceled++
 		}
 	}
-	return
+	return total, queued, running, done, failed, canceled, s.evicted
 }
 
 // markRunning transitions a queued job to running and registers its
@@ -174,16 +419,87 @@ func (s *store) incCellsDone(j *job) {
 }
 
 // finish records a run's terminal state and (possibly partial) result,
-// returning the final snapshot for the terminal event.
+// spills the finished job to the disk store, and returns the final
+// snapshot for the terminal event.
 func (s *store) finish(j *job, state client.JobState, errMsg string, res *episim.SweepResult) client.JobStatus {
+	var raw []byte
+	if res != nil {
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err == nil {
+			raw = buf.Bytes()
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.state = state
 	j.errMsg = errMsg
-	j.result = res
+	j.resultJSON = raw
+	j.hasResult = raw != nil
 	j.finished = s.now()
 	j.cancel = nil
-	return s.statusLocked(j)
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+
+	s.persist(st, raw)
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return st
+}
+
+// persist spills a terminal job's record to the disk store (no-op
+// without one). Failures are logged, not fatal: the job stays servable
+// from memory for its retention window.
+func (s *store) persist(st client.JobStatus, raw []byte) {
+	if s.results == nil {
+		return
+	}
+	payload, err := encodeJobRecord(st, raw)
+	if err == nil {
+		err = s.results.Put(artifact.KindJob, st.ID, payload)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "episimd: persist %s: %v\n", st.ID, err)
+	}
+}
+
+// evictLocked enforces the memory index's retention cap and TTL over
+// terminal jobs (running/queued jobs are never evicted). Evicted jobs
+// stay on disk — get() rehydrates them — so eviction trades memory for
+// a disk read, never for data loss when a disk store is configured.
+func (s *store) evictLocked() {
+	if s.retain <= 0 && s.ttl <= 0 {
+		return
+	}
+	now := s.now()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	var keep []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		drop := false
+		if j.state.Terminal() {
+			if s.ttl > 0 && !j.finished.IsZero() && now.Sub(j.finished) > s.ttl {
+				drop = true
+			}
+			if !drop && s.retain > 0 && terminal > s.retain {
+				drop = true // oldest terminal first: order is creation order
+			}
+			if drop {
+				terminal--
+			}
+		}
+		if drop {
+			delete(s.jobs, id)
+			s.evicted++
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	s.order = keep
 }
 
 // requestCancel moves a queued job straight to canceled (publishing the
@@ -199,6 +515,10 @@ func (s *store) requestCancel(j *job) bool {
 		s.mu.Unlock()
 		j.hub.publish(client.Event{Type: "canceled", Job: &st})
 		j.hub.close()
+		// Canceled-while-queued is terminal without passing through
+		// finish(); persist here too, or eviction/restart would forget
+		// the job ever existed.
+		s.persist(st, nil)
 		return true
 	case client.StateRunning:
 		cancel := j.cancel

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/ensemble"
 	"repro/internal/synthpop"
@@ -48,10 +49,14 @@ func ParseSweepSpec(r io.Reader) (*SweepSpec, error) { return ensemble.ParseSpec
 // SweepCache for its whole life: concurrent requests with the same
 // content keys share a single build (singleflight), repeated requests
 // hit warm entries, and an LRU byte bound keeps the daemon's footprint
-// flat. The zero value is not usable; call NewSweepCache.
+// flat. NewSweepCacheDir adds a disk tier behind the memory LRU, making
+// the cache persistent across processes and restarts. The zero value is
+// not usable; call NewSweepCache or NewSweepCacheDir.
 type SweepCache struct {
 	pop *ensemble.Cache
 	pl  *ensemble.Cache
+	// popStore/plStore back the disk tier (nil for memory-only caches).
+	popStore, plStore *artifact.Store
 }
 
 // NewSweepCache builds a shared cache bounded to roughly maxBytes of
@@ -97,6 +102,12 @@ type SweepOptions struct {
 	// Cache, when non-nil, shares populations and placements across
 	// every run that carries it (and across their concurrent workers).
 	Cache *SweepCache
+	// CacheDir, when Cache is nil and CacheDir is non-empty, backs the
+	// run's private cache with the persistent artifact store at this
+	// directory (see NewSweepCacheDir) — placements built by any earlier
+	// process are loaded instead of rebuilt, and this run's builds are
+	// written through for the next one.
+	CacheDir string
 	// OnCell streams each cell's aggregate the moment the cell
 	// finalizes — before the rest of the grid completes. Called
 	// concurrently from worker goroutines.
@@ -104,6 +115,31 @@ type SweepOptions struct {
 	// Slots, when non-nil, bounds this run's simulation work jointly
 	// with every other run sharing the pool.
 	Slots *SweepSlots
+}
+
+// resolveSweepOptions turns public options into executor options,
+// creating a run-private SweepCache when none is shared — private runs
+// still get a byte-sized cache the cost predictor can peek, so exact
+// re-pricing after the first placement build works everywhere.
+func resolveSweepOptions(opts *SweepOptions) (*ensemble.RunOptions, error) {
+	if opts == nil {
+		opts = &SweepOptions{}
+	}
+	cache := opts.Cache
+	if cache == nil {
+		var err error
+		cache, err = NewSweepCacheDir(0, opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ensemble.RunOptions{
+		PopulationCache: cache.pop,
+		PlacementCache:  cache.pl,
+		PredictCost:     predictCellCost(cache),
+		OnCell:          opts.OnCell,
+		Slots:           opts.Slots,
+	}, nil
 }
 
 // RunSweep executes a scenario sweep over the grid the spec declares,
@@ -128,17 +164,27 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 // the partial result alongside the error; failed cells carry Error in
 // place of aggregates.
 func RunSweepContext(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*SweepResult, error) {
-	ro := &ensemble.RunOptions{PredictCost: predictCellCost(nil)}
-	if opts != nil {
-		if opts.Cache != nil {
-			ro.PopulationCache = opts.Cache.pop
-			ro.PlacementCache = opts.Cache.pl
-			ro.PredictCost = predictCellCost(opts.Cache)
-		}
-		ro.OnCell = opts.OnCell
-		ro.Slots = opts.Slots
+	ro, err := resolveSweepOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	return ensemble.RunContext(ctx, spec, sweepHooks(), ro)
+}
+
+// SweepWarmResult reports what WarmSweep built versus found cached.
+type SweepWarmResult = ensemble.WarmResult
+
+// WarmSweep builds every unique population and placement of the spec's
+// grid without running a single simulation — the pre-warm pass behind
+// `sweep -warm -cache-dir`: CI or an operator populates the artifact
+// store once, and every subsequent run of the spec (any process, any
+// machine sharing the directory) performs zero placement builds.
+func WarmSweep(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*SweepWarmResult, error) {
+	ro, err := resolveSweepOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return ensemble.WarmContext(ctx, spec, sweepHooks(), ro)
 }
 
 // predictCellCost prices a sweep cell in modeled Blue Waters seconds for
