@@ -52,6 +52,18 @@ func (c *SweepCache) StoreStats() (pop, pl SweepStoreStats, ok bool) {
 	return c.popStore.Stats(), c.plStore.Stats(), true
 }
 
+// GCPlacements prunes the on-disk placement store to at most maxBytes,
+// removing least-recently-accessed artifacts first (reads refresh
+// recency). Placements dominate a cache dir's growth, which is otherwise
+// monotonic; pruned artifacts simply read as misses and are rebuilt and
+// re-stored on next use. No-op for a memory-only cache or maxBytes <= 0.
+func (c *SweepCache) GCPlacements(maxBytes int64) (files int, bytes int64, err error) {
+	if c.plStore == nil {
+		return 0, 0, nil
+	}
+	return c.plStore.GC(maxBytes)
+}
+
 // populationTier adapts the artifact store + codec to the ensemble
 // cache's disk-tier interface for populations.
 type populationTier struct{ store *artifact.Store }

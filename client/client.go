@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -107,6 +108,24 @@ type StatsReply struct {
 	ResultStore     *episim.SweepStoreStats `json:"result_store,omitempty"`
 }
 
+// HealthReply is the daemon's /healthz readiness snapshot. A fronting
+// gateway (episim-gw) probes this endpoint to decide routing; the daemon
+// replies 503 with Status "degraded" when it cannot take work (e.g. its
+// cache dir stopped being writable).
+type HealthReply struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	// Instance is the daemon's configured name (episimd -name).
+	Instance     string  `json:"instance,omitempty"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	QueueDepth   int     `json:"queue_depth"`
+	ActiveSweeps int     `json:"active_sweeps"`
+	// CacheDir and CacheDirWritable are present only for durable daemons;
+	// Error carries the probe failure when writability is lost.
+	CacheDir         string `json:"cache_dir,omitempty"`
+	CacheDirWritable *bool  `json:"cache_dir_writable,omitempty"`
+	Error            string `json:"error,omitempty"`
+}
+
 // Client talks to one episimd instance.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8321".
@@ -152,17 +171,28 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// apiError is a non-2xx reply; it keeps the status code so retry logic
+// can distinguish server-side failures (5xx, possibly transient — a
+// gateway mid-failover answers 502) from permanent client errors (4xx).
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
 // decodeError turns a non-2xx reply into an error carrying the server's
-// message.
+// message and status.
 func decodeError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(b, &e) == nil && e.Error != "" {
-		return fmt.Errorf("episimd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		return &apiError{resp.StatusCode, fmt.Sprintf("episimd: %s (HTTP %d)", e.Error, resp.StatusCode)}
 	}
-	return fmt.Errorf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	return &apiError{resp.StatusCode,
+		fmt.Sprintf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))}
 }
 
 // Submit enqueues a sweep and returns its acknowledgment.
@@ -217,28 +247,93 @@ func (c *Client) Stats(ctx context.Context) (StatsReply, error) {
 	return st, err
 }
 
+// Health fetches the daemon's readiness snapshot. A degraded daemon
+// replies 503, which surfaces as an error here; use the error's message
+// for the cause.
+func (c *Client) Health(ctx context.Context) (HealthReply, error) {
+	var h HealthReply
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// transientErr wraps a failure worth retrying with a resumed stream:
+// transport errors (dropped connections, resets) and 5xx replies. The
+// daemon retains every event, so resuming at last-seen+1 — the
+// Last-Event-ID contract — is lossless.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// callbackErr marks an error returned by the caller's fn, which must
+// end the stream rather than be retried.
+type callbackErr struct{ err error }
+
+func (e *callbackErr) Error() string { return e.err.Error() }
+func (e *callbackErr) Unwrap() error { return e.err }
+
 // Stream subscribes to a sweep's event stream from sequence number
 // `from` (0 replays everything already finalized, then continues live)
 // and invokes fn for every event until a terminal event arrives, fn
-// returns an error, or ctx is canceled. The daemon drops subscribers
-// that fall too far behind; Stream reconnects losslessly from the last
-// seen sequence number (every event is retained server-side), giving up
-// only after repeated ends with no progress.
+// returns an error, or ctx is canceled.
+//
+// Stream is self-healing: a dropped connection — a slow-subscriber
+// disconnect, a proxy cut, a gateway failing over, a 5xx from a backend
+// mid-restart — reconnects automatically with backoff and resumes from
+// the last seen sequence number (the Last-Event-ID contract; every event
+// is retained server-side), so transient disconnects lose no events and
+// surface no error. It gives up after repeated attempts with no
+// progress; permanent errors (4xx, malformed events, fn failures, ctx
+// cancellation) end the stream immediately.
 func (c *Client) Stream(ctx context.Context, id string, from int, fn func(Event) error) error {
-	stalls := 0
+	const (
+		maxErrRetries = 5 // consecutive transient failures without progress
+		maxEmptyEnds  = 3 // consecutive clean ends without progress
+	)
+	errRetries, emptyEnds := 0, 0
+	backoff := 250 * time.Millisecond
 	for {
 		last, terminal, err := c.streamOnce(ctx, id, from, fn)
-		if err != nil || terminal {
-			return err
+		if terminal {
+			return nil
 		}
-		if last >= from {
+		if last >= from { // progressed: both give-up counters restart
 			from = last + 1
-			stalls = 0
+			errRetries, emptyEnds = 0, 0
+			backoff = 250 * time.Millisecond
+		}
+		if err != nil {
+			var cb *callbackErr
+			if errors.As(err, &cb) {
+				return cb.err
+			}
+			var tr *transientErr
+			if ctx.Err() != nil || !errors.As(err, &tr) {
+				return err
+			}
+			errRetries++
+			if errRetries >= maxErrRetries {
+				return fmt.Errorf("episimd: event stream for %s: giving up after %d attempts: %w",
+					id, errRetries, tr.err)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
 			continue
 		}
-		stalls++
-		if stalls >= 3 {
-			return fmt.Errorf("episimd: event stream for %s ended early", id)
+		// Clean end without a terminal event: reconnect immediately (the
+		// server replays anything missed); repeated empty ends mean the
+		// stream is genuinely going nowhere.
+		if last < from {
+			emptyEnds++
+			if emptyEnds >= maxEmptyEnds {
+				return fmt.Errorf("episimd: event stream for %s ended early", id)
+			}
 		}
 	}
 }
@@ -256,13 +351,22 @@ func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(Ev
 		return last, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		// Redundant with ?from= (which the server prefers) but keeps
+		// SSE-aware intermediaries informed of the resume point.
+		req.Header.Set("Last-Event-ID", strconv.Itoa(from-1))
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return last, false, err
+		return last, false, &transientErr{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return last, false, decodeError(resp)
+		err := decodeError(resp)
+		if resp.StatusCode >= 500 {
+			return last, false, &transientErr{err}
+		}
+		return last, false, err
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -278,7 +382,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(Ev
 		}
 		data.Reset()
 		if err := fn(ev); err != nil {
-			return false, err
+			return false, &callbackErr{err}
 		}
 		last = ev.Seq
 		return ev.Type != "cell", nil
@@ -297,7 +401,8 @@ func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(Ev
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return last, false, err
+		// Mid-stream transport failure (reset, cut proxy): resumable.
+		return last, false, &transientErr{err}
 	}
 	return last, false, nil // ended without a terminal event: resumable
 }

@@ -1,0 +1,162 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sseEvent renders one server-side SSE frame the way episimd does.
+func sseEvent(t *testing.T, ev Event) string {
+	t.Helper()
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+}
+
+// fromParam parses the resume point of an incoming stream request.
+func fromParam(r *http.Request) int {
+	n, _ := strconv.Atoi(r.URL.Query().Get("from"))
+	return n
+}
+
+// TestStreamReconnectsAfterConnectionReset: a mid-stream TCP reset (a
+// dying proxy, a restarted gateway) must not surface an error or lose
+// events — the client resumes from last-seen+1 and the caller observes
+// one gapless sequence.
+func TestStreamReconnectsAfterConnectionReset(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		if n == 1 {
+			if from := fromParam(r); from != 0 {
+				t.Errorf("first connect from=%d, want 0", from)
+			}
+			// Two events, then an abrupt reset (SO_LINGER 0 → RST): the
+			// client's scanner sees a transport error, not a clean end.
+			fmt.Fprint(w, sseEvent(t, Event{Seq: 0, Type: "cell"}))
+			fmt.Fprint(w, sseEvent(t, Event{Seq: 1, Type: "cell"}))
+			w.(http.Flusher).Flush()
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tcp, ok := conn.(*net.TCPConn); ok {
+				tcp.SetLinger(0)
+			}
+			conn.Close()
+			return
+		}
+		// Reconnect: must resume exactly past the last delivered event.
+		if from := fromParam(r); from != 2 {
+			t.Errorf("reconnect from=%d, want 2", from)
+		}
+		if lei := r.Header.Get("Last-Event-ID"); lei != "1" {
+			t.Errorf("reconnect Last-Event-ID=%q, want 1", lei)
+		}
+		fmt.Fprint(w, sseEvent(t, Event{Seq: 2, Type: "cell"}))
+		fmt.Fprint(w, sseEvent(t, Event{Seq: 3, Type: "done", Job: &JobStatus{ID: "sw-000001", State: StateDone}}))
+	}))
+	defer ts.Close()
+
+	var seqs []int
+	err := New(ts.URL).Stream(context.Background(), "sw-000001", 0, func(ev Event) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream over a reset connection: %v", err)
+	}
+	if want := []int{0, 1, 2, 3}; fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Fatalf("delivered seqs %v, want %v", seqs, want)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d connections, want 2", got)
+	}
+}
+
+// TestStreamRetriesServerErrors: a 5xx (a gateway whose backend is mid-
+// failover) is transient; the client backs off and retries. A 4xx is
+// permanent and fails immediately.
+func TestStreamRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"backend draining"}`, http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, sseEvent(t, Event{Seq: 0, Type: "done", Job: &JobStatus{ID: "sw-000001", State: StateDone}}))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	if err := New(ts.URL).Stream(context.Background(), "sw-000001", 0, func(Event) error { return nil }); err != nil {
+		t.Fatalf("Stream across a 502: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d connections, want 2", calls.Load())
+	}
+	if time.Since(start) < 200*time.Millisecond {
+		t.Fatal("retry happened without backoff")
+	}
+
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown sweep"}`, http.StatusNotFound)
+	}))
+	defer notFound.Close()
+	err := New(notFound.URL).Stream(context.Background(), "sw-999999", 0, func(Event) error { return nil })
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.status != http.StatusNotFound {
+		t.Fatalf("Stream against 404 = %v, want permanent apiError", err)
+	}
+}
+
+// TestStreamCallbackErrorIsFatal: an error from the caller's fn ends the
+// stream at once — it must never be retried (the callback already saw
+// the event; replaying it would double-process).
+func TestStreamCallbackErrorIsFatal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, sseEvent(t, Event{Seq: 0, Type: "cell"}))
+		fmt.Fprint(w, sseEvent(t, Event{Seq: 1, Type: "done", Job: &JobStatus{ID: "sw-000001", State: StateDone}}))
+	}))
+	defer ts.Close()
+
+	boom := errors.New("boom")
+	err := New(ts.URL).Stream(context.Background(), "sw-000001", 0, func(Event) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Stream returned %v, want the callback's error", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("callback error triggered %d connections, want 1", calls.Load())
+	}
+}
+
+// TestStreamGivesUpWithoutProgress: endless transient failures with no
+// forward progress eventually fail instead of spinning forever.
+func TestStreamGivesUpWithoutProgress(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"always down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	err := New(ts.URL).Stream(context.Background(), "sw-000001", 0, func(Event) error { return nil })
+	if err == nil {
+		t.Fatal("Stream against a permanently-5xx server must eventually fail")
+	}
+}

@@ -1,0 +1,96 @@
+// Command episim-gw is the scale-out front door for a fleet of episimd
+// instances: a stateless HTTP gateway that routes each sweep submission
+// by its dominant placement content key (rendezvous hashing over the
+// healthy backends), so repeat submissions of the same population and
+// placement land on the instance whose placement cache is already warm.
+// Status, results, cancels and event streams proxy transparently — job
+// ids issued by the gateway embed the owning backend — and /v1/stats and
+// /metrics aggregate the whole fleet.
+//
+// Usage:
+//
+//	episim-gw -addr :8320 -backends http://10.0.0.1:8321,http://10.0.0.2:8321
+//
+// Backends are probed via /healthz every -probe-interval; a backend
+// failing -fail-after consecutive probes (or any submit) is ejected and
+// submissions re-route to the next backend in preference order until it
+// recovers. Keep the -backends list order stable across gateway
+// restarts: a backend's identity (b0, b1, ...) is its position in the
+// list and issued job ids embed it — append new backends at the end.
+//
+// Existing clients need no changes: point them at the gateway instead of
+// a single daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8320", "listen address")
+		backends      = flag.String("backends", "", "comma-separated episimd base URLs (required; order is identity — keep it stable)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe cadence")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "health-probe request timeout")
+		failAfter     = flag.Int("fail-after", 2, "consecutive failed probes before a backend is ejected")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "episim-gw: -backends is required (comma-separated episimd URLs)")
+		os.Exit(2)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episim-gw:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "episim-gw: listening on %s, fronting %d backends (probe every %v, eject after %d failures)\n",
+		*addr, len(urls), *probeInterval, *failAfter)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "episim-gw:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "episim-gw: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "episim-gw: shutdown:", err)
+		}
+		gw.Close()
+	}
+}

@@ -39,6 +39,14 @@ import (
 	"repro/internal/server"
 )
 
+// defaultName identifies this instance when -name is not given.
+func defaultName() string {
+	if h, err := os.Hostname(); err == nil {
+		return h
+	}
+	return "episimd"
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
@@ -47,17 +55,21 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 4096, "LRU bound on the shared population+placement cache, MiB (0 = unbounded)")
 		cacheDir  = flag.String("cache-dir", "", "persistent artifact store: placements survive restarts, finished sweeps spill to disk (empty = memory only)")
 		retain    = flag.Int("retain", 1024, "finished sweeps kept in the memory index; older ones evict (to disk with -cache-dir) (0 = unbounded)")
-		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index after this age, e.g. 24h (0 = never)")
+		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index — and, with -cache-dir, expire their disk records — after this age, e.g. 24h (0 = never)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "bound the on-disk placement store: a background LRU sweep prunes least-recently-used artifacts past this size (0 = unbounded)")
+		name      = flag.String("name", defaultName(), "instance name reported by /healthz (shown by episim-gw)")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		MaxActive:  *maxActive,
-		CacheBytes: *cacheMB << 20,
-		CacheDir:   *cacheDir,
-		Retain:     *retain,
-		ResultTTL:  *resultTTL,
+		Workers:       *workers,
+		MaxActive:     *maxActive,
+		CacheBytes:    *cacheMB << 20,
+		CacheDir:      *cacheDir,
+		Retain:        *retain,
+		ResultTTL:     *resultTTL,
+		StoreMaxBytes: *storeMax,
+		Name:          *name,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "episimd:", err)

@@ -51,6 +51,7 @@ func main() {
 		curves   = flag.String("curves", "", "write per-day mean/quantile curves CSV here")
 		cacheDir = flag.String("cache-dir", "", "persistent placement cache directory: placements built by any earlier run are loaded instead of rebuilt")
 		warm     = flag.Bool("warm", false, "only build and persist the spec's placements into -cache-dir (no simulation)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "after the run, prune -cache-dir's placement store to this size, least-recently-used first (0 = no pruning)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -92,6 +93,22 @@ func main() {
 			fail(err)
 		}
 	}
+	// gcStore bounds the cache dir on the way out (both the warm-only
+	// and full-run paths), so repeated sweeps against one directory
+	// cannot grow it without limit.
+	gcStore := func() {
+		if cache == nil || *cacheMax <= 0 {
+			return
+		}
+		files, bytes, err := cache.GCPlacements(*cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: cache GC:", err)
+			return
+		}
+		if files > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: cache GC pruned %d placement artifacts (%d bytes)\n", files, bytes)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -115,6 +132,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: warmed %d populations + %d placements in %v (%d built, %d already cached)\n",
 			w.Populations, w.Placements, time.Since(start).Round(time.Millisecond),
 			w.Built(), w.Placements-w.Built())
+		gcStore()
 		return
 	}
 
@@ -182,6 +200,7 @@ func main() {
 	emit(*outJSON, res.WriteJSON)
 	emit(*summary, res.WriteSummaryCSV)
 	emit(*curves, res.WriteCurvesCSV)
+	gcStore()
 	if exitCode != 0 {
 		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells (partial aggregates emitted)")
 		os.Exit(exitCode)

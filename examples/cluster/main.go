@@ -1,0 +1,138 @@
+// Example cluster boots two in-process episimd backends behind an
+// episim-gw gateway and demonstrates the three scale-out properties:
+//
+//  1. content-key affinity — two submissions of the same sweep route to
+//     the same backend, and the second performs zero placement builds
+//     (the routed backend's cache is warm);
+//  2. transparent proxying — the client is the ordinary episimd client
+//     pointed at the gateway; streams, results and stats just work;
+//  3. failover — killing the routed backend re-routes the next
+//     submission to the survivor with no client-visible change.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+//
+// In production each backend is its own `episimd` process (or machine)
+// and the gateway is `episim-gw -backends http://a:8321,http://b:8321`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	episim "repro"
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	// Two share-nothing backends, each with its own cache.
+	var urls []string
+	var srvs []*http.Server
+	var cores []*server.Server
+	for i := 0; i < 2; i++ {
+		core, err := server.New(server.Config{Workers: 4, MaxActive: 2, Name: fmt.Sprintf("node-%d", i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer core.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: core.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		urls = append(urls, "http://"+ln.Addr().String())
+		srvs = append(srvs, hs)
+		cores = append(cores, core)
+	}
+
+	// The gateway: stateless, routes by placement content key.
+	gw, err := cluster.New(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: 200 * time.Millisecond,
+		FailAfter:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ghs := &http.Server{Handler: gw.Handler()}
+	go ghs.Serve(gln)
+	defer ghs.Close()
+	gwURL := "http://" + gln.Addr().String()
+	fmt.Printf("episim-gw on %s fronting %d backends\n", gwURL, len(urls))
+
+	fleetStats := func() cluster.StatsReply {
+		resp, err := http.Get(gwURL + "/v1/stats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st cluster.StatsReply
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	// The ordinary episimd client, pointed at the gateway.
+	c := client.New(gwURL)
+	ctx := context.Background()
+	spec := &episim.SweepSpec{
+		Populations: []episim.SweepPopulation{{State: "WY", Scale: 600}},
+		Placements:  []episim.SweepPlacement{{Strategy: "GP", SplitLoc: true, Ranks: 8}},
+		Replicates:  4,
+		Days:        30,
+		Seed:        7,
+	}
+	spec.Normalize()
+
+	run := func(tag string) {
+		ack, err := c.Submit(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Stream(ctx, ack.ID, 0, func(client.Event) error { return nil }); err != nil {
+			log.Fatal(err)
+		}
+		st := fleetStats()
+		routed := ""
+		for _, b := range st.Backends {
+			routed += fmt.Sprintf(" %s=%d", b.Name, b.Routed)
+		}
+		fmt.Printf("%s: %s done; routed%s; fleet placement builds so far: %d\n",
+			tag, ack.ID, routed, st.PlacementCache.Builds)
+	}
+
+	// 1 + 2: affinity. Same spec twice → same backend, one build total.
+	run("first submission ")
+	run("second submission") // same backend, zero new builds
+
+	// 3: failover. Kill the backend holding the warm cache; the next
+	// submission re-routes to the survivor and still completes (it
+	// rebuilds the placement there — one more fleet build, not an error).
+	killed := -1
+	for i, b := range fleetStats().Backends {
+		if b.Routed > 0 {
+			killed = i
+		}
+	}
+	fmt.Printf("killing routed backend node-%d...\n", killed)
+	srvs[killed].Close()
+	cores[killed].Close()
+	time.Sleep(600 * time.Millisecond) // a few probe rounds: prober ejects it
+	run("after failover   ")
+}

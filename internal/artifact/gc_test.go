@@ -1,0 +1,117 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// putAged stores a payload and backdates its mtime so GC order is
+// deterministic in the test.
+func putAged(t *testing.T, s *Store, key string, payload []byte, age time.Duration) {
+	t.Helper()
+	if err := s.Put(KindPlacement, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCEvictsOldestFirst(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	// Four artifacts, oldest first: k0 (4h) ... k3 (1h).
+	for i := 0; i < 4; i++ {
+		putAged(t, s, fmt.Sprintf("k%d", i), payload, time.Duration(4-i)*time.Hour)
+	}
+	total := s.Stats().Bytes
+	perFile := total / 4
+
+	// Bound to ~2 files: the two oldest must go, the two newest stay.
+	files, bytes, err := s.GC(2 * perFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 || bytes != 2*perFile {
+		t.Fatalf("GC removed %d files / %d bytes, want 2 / %d", files, bytes, 2*perFile)
+	}
+	for i, want := range []bool{false, false, true, true} {
+		_, err := s.Get(KindPlacement, fmt.Sprintf("k%d", i))
+		if got := err == nil; got != want {
+			t.Errorf("after GC, k%d present=%v want %v (err=%v)", i, got, want, err)
+		}
+	}
+	st := s.Stats()
+	if st.Files != 2 || st.GCFiles != 2 || st.GCBytes != 2*perFile {
+		t.Fatalf("stats after GC = %+v, want 2 files, gc 2/%d", st, 2*perFile)
+	}
+	// Under the bound already: a second pass is a no-op.
+	if files, _, _ := s.GC(2 * perFile); files != 0 {
+		t.Fatalf("second GC removed %d files, want 0", files)
+	}
+}
+
+func TestGCKeepsRecentlyReadArtifacts(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal-length keys so both artifacts are byte-identical in size and
+	// the bound below keeps exactly one of them.
+	payload := make([]byte, 1000)
+	putAged(t, s, "key-hot", payload, 4*time.Hour)
+	putAged(t, s, "key-new", payload, 1*time.Hour)
+
+	// A read refreshes the artifact's access time, so the LRU sweep must
+	// now prefer evicting "key-new".
+	if _, err := s.Get(KindPlacement, "key-hot"); err != nil {
+		t.Fatal(err)
+	}
+	perFile := s.Stats().Bytes / 2
+	if _, _, err := s.GC(perFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(KindPlacement, "key-hot"); err != nil {
+		t.Fatalf("recently read artifact evicted: %v", err)
+	}
+	if _, err := s.Get(KindPlacement, "key-new"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU artifact survived GC: %v", err)
+	}
+}
+
+func TestExpireOlderThan(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putAged(t, s, "stale", []byte("a"), 48*time.Hour)
+	putAged(t, s, "fresh", []byte("b"), time.Minute)
+
+	files, _, err := s.ExpireOlderThan(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 {
+		t.Fatalf("expired %d files, want 1", files)
+	}
+	if _, err := s.Get(KindPlacement, "stale"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale artifact survived TTL: %v", err)
+	}
+	if _, err := s.Get(KindPlacement, "fresh"); err != nil {
+		t.Fatalf("fresh artifact expired: %v", err)
+	}
+	if st := s.Stats(); st.Files != 1 || st.GCFiles != 1 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+	// Zero age disables expiry entirely.
+	if files, _, _ := s.ExpireOlderThan(0); files != 0 {
+		t.Fatalf("ExpireOlderThan(0) removed %d files, want 0", files)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Store is a content-addressed artifact store rooted at one directory:
@@ -25,15 +26,21 @@ import (
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	files int
-	bytes int64
+	mu      sync.Mutex
+	files   int
+	bytes   int64
+	gcFiles int64
+	gcBytes int64
 }
 
-// StoreStats is a point-in-time size snapshot of a store.
+// StoreStats is a point-in-time size snapshot of a store. GCFiles and
+// GCBytes count artifacts this process's GC passes removed (LRU sweep or
+// TTL expiry).
 type StoreStats struct {
-	Files int   `json:"files"`
-	Bytes int64 `json:"bytes"`
+	Files   int   `json:"files"`
+	Bytes   int64 `json:"bytes"`
+	GCFiles int64 `json:"gc_files,omitempty"`
+	GCBytes int64 `json:"gc_bytes,omitempty"`
 }
 
 const artExt = ".art"
@@ -45,19 +52,12 @@ func NewStore(dir string) (*Store, error) {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
 	s := &Store{dir: dir}
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != artExt {
-			return err
-		}
-		if info, err := d.Info(); err == nil {
-			s.files++
-			s.bytes += info.Size()
-		}
-		return nil
-	})
+	cands, total, err := s.scanFiles()
 	if err != nil {
-		return nil, fmt.Errorf("artifact: scan %s: %w", dir, err)
+		return nil, err
 	}
+	s.files = len(cands)
+	s.bytes = total
 	return s, nil
 }
 
@@ -129,6 +129,11 @@ func (s *Store) Get(kind Kind, key string) ([]byte, error) {
 		s.removeFile(path, int64(len(data)))
 		return nil, err
 	}
+	// Mark the artifact recently used (best-effort): GC evicts by mtime,
+	// so a read refreshes the file's place in the LRU order the same way
+	// a memory-cache hit moves an entry to the front.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return payload, nil
 }
 
@@ -154,6 +159,104 @@ func (s *Store) removeFile(path string, size int64) {
 		s.bytes -= size
 		s.mu.Unlock()
 	}
+}
+
+// gcCandidate is one artifact file as the GC scan sees it.
+type gcCandidate struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scanFiles walks the store and returns every artifact file with its
+// size and modification time (= last access, since Get touches mtime).
+func (s *Store) scanFiles() ([]gcCandidate, int64, error) {
+	var out []gcCandidate
+	var total int64
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != artExt {
+			return err
+		}
+		info, infoErr := d.Info()
+		if infoErr != nil {
+			return nil // racing a concurrent delete: skip
+		}
+		out = append(out, gcCandidate{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("artifact: scan %s: %w", s.dir, err)
+	}
+	return out, total, nil
+}
+
+// gcRemove deletes one candidate and charges the GC counters.
+func (s *Store) gcRemove(c gcCandidate) bool {
+	if os.Remove(c.path) != nil {
+		return false
+	}
+	s.mu.Lock()
+	s.files--
+	s.bytes -= c.size
+	s.gcFiles++
+	s.gcBytes += c.size
+	s.mu.Unlock()
+	return true
+}
+
+// GC prunes the store to at most maxBytes, removing least-recently-
+// accessed artifacts first (mtime order; Get refreshes it). A removed
+// artifact is not data loss — it reads as a miss and is rebuilt and
+// re-stored by the next run that needs it. maxBytes <= 0 is a no-op.
+func (s *Store) GC(maxBytes int64) (files int, bytes int64, err error) {
+	if maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	cands, total, err := s.scanFiles()
+	if err != nil || total <= maxBytes {
+		return 0, 0, err
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].mtime.Equal(cands[j].mtime) {
+			return cands[i].mtime.Before(cands[j].mtime)
+		}
+		return cands[i].path < cands[j].path
+	})
+	for _, c := range cands {
+		if total <= maxBytes {
+			break
+		}
+		if s.gcRemove(c) {
+			total -= c.size
+			files++
+			bytes += c.size
+		}
+	}
+	return files, bytes, nil
+}
+
+// ExpireOlderThan removes every artifact not accessed within age
+// (mtime-based TTL: a read refreshes it). age <= 0 is a no-op.
+func (s *Store) ExpireOlderThan(age time.Duration) (files int, bytes int64, err error) {
+	if age <= 0 {
+		return 0, 0, nil
+	}
+	cands, _, err := s.scanFiles()
+	if err != nil {
+		return 0, 0, err
+	}
+	cutoff := time.Now().Add(-age)
+	for _, c := range cands {
+		if c.mtime.After(cutoff) {
+			continue
+		}
+		if s.gcRemove(c) {
+			files++
+			bytes += c.size
+		}
+	}
+	return files, bytes, nil
 }
 
 // KeyInfo identifies one stored artifact.
@@ -204,5 +307,5 @@ func (s *Store) Keys() ([]KeyInfo, error) {
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Files: s.files, Bytes: s.bytes}
+	return StoreStats{Files: s.files, Bytes: s.bytes, GCFiles: s.gcFiles, GCBytes: s.gcBytes}
 }

@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	episim "repro"
+	"repro/client"
+	"repro/internal/server"
+)
+
+// testSpec is a tiny real sweep (1 cell, 2 replicates) the actual
+// engine finishes in milliseconds.
+func testSpec() *episim.SweepSpec {
+	s := &episim.SweepSpec{
+		Populations: []episim.SweepPopulation{{Name: "gw-town", People: 300, Locations: 30}},
+		Placements:  []episim.SweepPlacement{{Strategy: "RR", Ranks: 2}},
+		Replicates:  2,
+		Days:        4,
+		Seed:        11,
+	}
+	s.Normalize()
+	return s
+}
+
+func specBody(t *testing.T, s *episim.SweepSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testCluster is N real episimd backends behind one gateway.
+type testCluster struct {
+	gw       *Gateway
+	gwURL    string
+	backends []*httptest.Server
+	urls     []string
+}
+
+func bootCluster(t *testing.T, n int, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		core, err := server.New(server.Config{Workers: 2, MaxActive: 2, Name: fmt.Sprintf("node-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(core.Handler())
+		t.Cleanup(func() {
+			core.Close()
+			ts.Close()
+		})
+		tc.backends = append(tc.backends, ts)
+		tc.urls = append(tc.urls, ts.URL)
+	}
+	cfg.Backends = tc.urls
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		gw.Close()
+		gts.Close()
+	})
+	tc.gw = gw
+	tc.gwURL = gts.URL
+	return tc
+}
+
+// submitRaw posts a spec through the gateway, returning the ack and the
+// backend that took it.
+func (tc *testCluster) submitRaw(t *testing.T, body []byte) (client.SubmitReply, string) {
+	t.Helper()
+	resp, err := http.Post(tc.gwURL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var ack client.SubmitReply
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		t.Fatalf("submit reply %q: %v", raw, err)
+	}
+	return ack, resp.Header.Get(backendHeader)
+}
+
+// waitDone streams a sweep through the gateway until its terminal event.
+func (tc *testCluster) waitDone(t *testing.T, id string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := client.New(tc.gwURL).Stream(ctx, id, 0, func(client.Event) error { return nil }); err != nil {
+		t.Fatalf("stream %s: %v", id, err)
+	}
+}
+
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHRWDeterminismAndMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pop=%d | strategy=GP ranks=16", i)
+	}
+	for _, k := range keys {
+		a := rankNodes(k, nodes)
+		b := rankNodes(k, nodes)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("rankNodes not deterministic for %q: %v vs %v", k, a, b)
+		}
+	}
+	// Spread: no backend should own everything.
+	owners := map[int]int{}
+	for _, k := range keys {
+		owners[rankNodes(k, nodes)[0]]++
+	}
+	for i := range nodes {
+		if owners[i] == 0 || owners[i] == len(keys) {
+			t.Fatalf("degenerate HRW spread: %v", owners)
+		}
+	}
+	// Minimal disruption: dropping node 3 must not move any key owned by
+	// nodes 0-2.
+	smaller := nodes[:3]
+	for _, k := range keys {
+		before := rankNodes(k, nodes)[0]
+		after := rankNodes(k, smaller)[0]
+		if before != 3 && after != before {
+			t.Fatalf("key %q moved %d→%d when an unrelated node left", k, before, after)
+		}
+	}
+}
+
+func TestDominantPlacementKey(t *testing.T) {
+	s := testSpec()
+	key := DominantPlacementKey(s)
+	if key == "" || !strings.Contains(key, "strategy=RR") {
+		t.Fatalf("dominant key = %q", key)
+	}
+	if again := DominantPlacementKey(testSpec()); again != key {
+		t.Fatalf("dominant key not stable: %q vs %q", again, key)
+	}
+	// Two placements, one covering 2× the scenarios via an extra
+	// population? Placement keys are per population — instead weight by
+	// scenarios: both placements cover every scenario equally, so the
+	// tie goes to grid order (the first placement).
+	s2 := testSpec()
+	s2.Placements = append(s2.Placements, episim.SweepPlacement{Strategy: "GP", Ranks: 2})
+	if k2 := DominantPlacementKey(s2); k2 != key {
+		t.Fatalf("tie must go to grid order: %q vs %q", k2, key)
+	}
+}
+
+func TestResolveID(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	b, local, ok := tc.gw.resolveID("b1-sw-000042")
+	if !ok || b.index != 1 || local != "sw-000042" {
+		t.Fatalf("resolveID = %v %q %v", b, local, ok)
+	}
+	for _, bad := range []string{"", "sw-000042", "b9-sw-000001", "bx-sw-1", "b0-", "b-1-x"} {
+		if _, _, ok := tc.gw.resolveID(bad); ok {
+			t.Fatalf("resolveID accepted %q", bad)
+		}
+	}
+}
+
+// TestRoutingDeterminism is the affinity half of the acceptance
+// criterion: the same spec routes to the same backend, submission after
+// submission, gateway instance after gateway instance.
+func TestRoutingDeterminism(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	body := specBody(t, testSpec())
+
+	_, first := tc.submitRaw(t, body)
+	for i := 0; i < 3; i++ {
+		if _, again := tc.submitRaw(t, body); again != first {
+			t.Fatalf("submission %d routed to %s, first went to %s", i+2, again, first)
+		}
+	}
+
+	// A different placement key may (and here, does not have to) go
+	// elsewhere; a fresh gateway over the same backend list must agree
+	// with the first one.
+	gw2, err := New(Config{Backends: tc.urls, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+	gts2 := httptest.NewServer(gw2.Handler())
+	defer gts2.Close()
+	tc2 := &testCluster{gw: gw2, gwURL: gts2.URL, urls: tc.urls}
+	if _, viaSecond := tc2.submitRaw(t, body); viaSecond != first {
+		t.Fatalf("second gateway routed to %s, first routes to %s", viaSecond, first)
+	}
+}
+
+// TestRepeatSubmissionIsCacheHit is the cache-affinity payoff: the
+// second submission of the same spec lands on the same backend and
+// performs zero additional placement builds, proven through the
+// gateway's aggregated stats.
+func TestRepeatSubmissionIsCacheHit(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	body := specBody(t, testSpec())
+
+	ack1, first := tc.submitRaw(t, body)
+	tc.waitDone(t, ack1.ID)
+	var st1 StatsReply
+	_, raw := getRaw(t, tc.gwURL+"/v1/stats")
+	if err := json.Unmarshal(raw, &st1); err != nil {
+		t.Fatal(err)
+	}
+	if st1.PlacementCache.Builds != 1 {
+		t.Fatalf("after first sweep: %d placement builds, want 1", st1.PlacementCache.Builds)
+	}
+
+	ack2, second := tc.submitRaw(t, body)
+	if second != first {
+		t.Fatalf("second submission routed to %s, first to %s", second, first)
+	}
+	tc.waitDone(t, ack2.ID)
+	var st2 StatsReply
+	_, raw = getRaw(t, tc.gwURL+"/v1/stats")
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.PlacementCache.Builds != st1.PlacementCache.Builds {
+		t.Fatalf("second submission built placements: %d → %d builds",
+			st1.PlacementCache.Builds, st2.PlacementCache.Builds)
+	}
+	if st2.SweepsDone != 2 {
+		t.Fatalf("aggregated sweeps done = %d, want 2", st2.SweepsDone)
+	}
+}
+
+// TestFailoverReRoutes is the other half of the acceptance criterion:
+// kill the routed backend and the next submission of the same spec lands
+// on the survivor with no client-visible change.
+func TestFailoverReRoutes(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: 50 * time.Millisecond, FailAfter: 1,
+		ProbeTimeout: 500 * time.Millisecond})
+	body := specBody(t, testSpec())
+
+	ack, first := tc.submitRaw(t, body)
+	tc.waitDone(t, ack.ID)
+
+	// Kill the backend that owns this key.
+	var dead int
+	for i, u := range tc.urls {
+		if fmt.Sprintf("b%d", i) == first {
+			dead = i
+			tc.backends[i].CloseClientConnections()
+			tc.backends[i].Close()
+			_ = u
+		}
+	}
+	// The prober must eject it...
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.gw.healthyCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ejected the dead backend")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// ...and the same spec now routes to the survivor, transparently.
+	ack2, second := tc.submitRaw(t, body)
+	if second == fmt.Sprintf("b%d", dead) {
+		t.Fatalf("submission routed to the dead backend %s", second)
+	}
+	tc.waitDone(t, ack2.ID)
+	st, err := client.New(tc.gwURL).Status(context.Background(), ack2.ID)
+	if err != nil || st.State != client.StateDone {
+		t.Fatalf("failover sweep status = %+v, %v", st, err)
+	}
+}
+
+// TestResultBytesIdenticalThroughGateway: the canonical result bytes
+// must be the same whether read through the routing tier or straight
+// from the owning backend.
+func TestResultBytesIdenticalThroughGateway(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	ack, name := tc.submitRaw(t, specBody(t, testSpec()))
+	tc.waitDone(t, ack.ID)
+
+	code, viaGW := getRaw(t, tc.gwURL+"/v1/sweeps/"+ack.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("gateway result: HTTP %d", code)
+	}
+	b, local, ok := tc.gw.resolveID(ack.ID)
+	if !ok || b.name != name {
+		t.Fatalf("ack id %q does not resolve to backend %s", ack.ID, name)
+	}
+	code, direct := getRaw(t, b.url+"/v1/sweeps/"+local+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("direct result: HTTP %d", code)
+	}
+	if !bytes.Equal(viaGW, direct) {
+		t.Fatalf("result differs through gateway: %d vs %d bytes", len(viaGW), len(direct))
+	}
+}
+
+// TestEventStreamThroughGateway: the proxied stream preserves replay
+// (?from=0 re-serves everything) and terminal events carry the
+// gateway-issued job id, so a consumer never sees a backend-local id.
+func TestEventStreamThroughGateway(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	ack, _ := tc.submitRaw(t, specBody(t, testSpec()))
+	tc.waitDone(t, ack.ID)
+
+	var cells int
+	var terminal *client.Event
+	err := client.New(tc.gwURL).Stream(context.Background(), ack.ID, 0, func(ev client.Event) error {
+		if ev.Type == "cell" {
+			cells++
+		} else {
+			e := ev
+			terminal = &e
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != 1 {
+		t.Fatalf("replayed %d cell events, want 1", cells)
+	}
+	if terminal == nil || terminal.Job == nil || terminal.Job.ID != ack.ID {
+		t.Fatalf("terminal event = %+v, want job id %s", terminal, ack.ID)
+	}
+
+	// NDJSON side of the proxy, with a mid-stream resume point.
+	code, raw := getRaw(t, tc.gwURL+"/v1/sweeps/"+ack.ID+"/events?format=ndjson&from=1")
+	if code != http.StatusOK {
+		t.Fatalf("ndjson events: HTTP %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("from=1 replayed %d events, want 1 (the terminal)", len(lines))
+	}
+	var ev client.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 1 || ev.Job == nil || ev.Job.ID != ack.ID {
+		t.Fatalf("resumed terminal event = %+v, want seq 1 with gateway id", ev)
+	}
+}
+
+// TestListMergesBackends: the merged list re-issues every job under its
+// gateway id.
+func TestListMergesBackends(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	spec2 := testSpec()
+	spec2.Populations[0].Name = "gw-city" // different key: may route elsewhere
+	ack1, _ := tc.submitRaw(t, specBody(t, testSpec()))
+	ack2, _ := tc.submitRaw(t, specBody(t, spec2))
+	tc.waitDone(t, ack1.ID)
+	tc.waitDone(t, ack2.ID)
+
+	jobs, err := client.New(tc.gwURL).List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, j := range jobs {
+		found[j.ID] = true
+		if _, _, ok := tc.gw.resolveID(j.ID); !ok {
+			t.Fatalf("listed id %q is not a gateway id", j.ID)
+		}
+	}
+	if !found[ack1.ID] || !found[ack2.ID] {
+		t.Fatalf("list %v missing %s or %s", jobs, ack1.ID, ack2.ID)
+	}
+}
+
+// TestGatewayHealthz: ready while any backend is, 503 when none are.
+func TestGatewayHealthz(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: 50 * time.Millisecond, FailAfter: 1,
+		ProbeTimeout: 500 * time.Millisecond})
+	if code, _ := getRaw(t, tc.gwURL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	for _, b := range tc.backends {
+		b.CloseClientConnections()
+		b.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := getRaw(t, tc.gwURL+"/healthz")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stayed %d with every backend dead", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

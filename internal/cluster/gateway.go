@@ -1,0 +1,252 @@
+// Package cluster turns a fleet of share-nothing episimd instances into
+// one horizontally-scaled sweep service. The gateway (episim-gw) is
+// stateless: it computes each submission's dominant placement content
+// key — the same key internal/ensemble caches builds under — and routes
+// it via rendezvous hashing over the healthy backend set, so repeat
+// submissions of the same (population, placement) always land on the
+// instance whose memory and disk caches already hold the build. Job ids
+// issued by the gateway embed the backend identity ("b0-sw-000001"), so
+// status, result, cancel and event-stream requests proxy straight to the
+// owning backend with no routing table anywhere.
+//
+// An active prober ejects backends whose /healthz stops answering (and
+// re-admits them when it recovers); submissions re-route down the HRW
+// preference order, so a dead backend costs its keys one cold cache, not
+// an outage. /v1/stats and /metrics aggregate the whole fleet.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes one gateway.
+type Config struct {
+	// Backends are the episimd base URLs, e.g. "http://10.0.0.1:8321".
+	// Order matters: a backend's identity (b0, b1, ...) is its position
+	// here, and issued job ids embed it — keep the list stable across
+	// gateway restarts (append new backends at the end).
+	Backends []string
+	// ProbeInterval is the /healthz polling cadence (0 = 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (0 = 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures eject a backend
+	// (0 = 2). One successful probe re-admits it.
+	FailAfter int
+	// HTTPClient proxies requests to backends. It must not set a global
+	// Timeout (event streams run as long as sweeps do); nil uses a
+	// default transport.
+	HTTPClient *http.Client
+}
+
+// backend is one episimd instance as the gateway sees it.
+type backend struct {
+	index int
+	name  string // "b0", "b1", ... — embedded in gateway job ids
+	url   string
+
+	healthy atomic.Bool
+	routed  atomic.Int64 // submissions this backend accepted
+
+	// Prober state (prober goroutine + failure reports from proxying).
+	probeMu     sync.Mutex
+	consecFails int
+	lastErr     string
+}
+
+// Gateway fronts N episimd backends behind the episimd HTTP API.
+type Gateway struct {
+	backends []*backend
+	httpc    *http.Client
+	probec   *http.Client
+
+	probeInterval time.Duration
+	failAfter     int
+
+	started time.Time
+	stop    chan struct{}
+	done    chan struct{}
+
+	submitted atomic.Int64 // submissions accepted by some backend
+	rerouted  atomic.Int64 // submissions that fell past their first choice
+}
+
+// New builds a gateway over cfg.Backends and starts its health prober.
+// Backends start healthy (optimistic) so the gateway serves immediately;
+// the first probe round corrects within ProbeInterval.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	g := &Gateway{
+		httpc:         httpc,
+		probec:        &http.Client{Timeout: cfg.ProbeTimeout},
+		probeInterval: cfg.ProbeInterval,
+		failAfter:     cfg.FailAfter,
+		started:       time.Now(),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for i, u := range cfg.Backends {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: backend %d has an empty URL", i)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate backend %s", u)
+		}
+		seen[u] = true
+		b := &backend{index: i, name: fmt.Sprintf("b%d", i), url: u}
+		b.healthy.Store(true)
+		g.backends = append(g.backends, b)
+	}
+	go g.probeLoop()
+	return g, nil
+}
+
+// Close stops the health prober. In-flight proxied requests finish on
+// their own connections.
+func (g *Gateway) Close() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+		<-g.done
+	}
+}
+
+// Handler returns the gateway's HTTP API — the episimd surface, served
+// for the whole fleet:
+//
+//	POST   /v1/sweeps             route by placement content key, 202 + {id}
+//	GET    /v1/sweeps             merged job list across backends
+//	GET    /v1/sweeps/{id}        proxied to the owning backend
+//	GET    /v1/sweeps/{id}/result verbatim bytes from the owning backend
+//	GET    /v1/sweeps/{id}/events proxied SSE/NDJSON stream (?from= and
+//	                              Last-Event-ID replay preserved)
+//	POST   /v1/sweeps/{id}/cancel proxied cancel
+//	DELETE /v1/sweeps/{id}        same
+//	GET    /v1/stats              fleet-aggregated stats + per-backend detail
+//	GET    /metrics               fleet-aggregated Prometheus metrics
+//	GET    /healthz               gateway readiness (503 when no backend is)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", g.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", g.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", g.withBackend(g.proxyStatus))
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", g.withBackend(g.proxyResult))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", g.withBackend(g.proxyEvents))
+	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", g.withBackend(g.proxyCancel))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", g.withBackend(g.proxyCancel))
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+// gatewayID embeds the owning backend in a job id: "b0-sw-000001".
+func (b *backend) gatewayID(backendID string) string {
+	return b.name + "-" + backendID
+}
+
+// resolveID splits a gateway job id back into its backend and the
+// backend-local id. Unparseable or out-of-range ids are simply unknown.
+func (g *Gateway) resolveID(id string) (*backend, string, bool) {
+	rest, ok := strings.CutPrefix(id, "b")
+	if !ok {
+		return nil, "", false
+	}
+	idx, local, ok := strings.Cut(rest, "-")
+	if !ok {
+		return nil, "", false
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 0 || n >= len(g.backends) || local == "" {
+		return nil, "", false
+	}
+	return g.backends[n], local, true
+}
+
+// withBackend resolves the {id} path value before invoking h.
+func (g *Gateway) withBackend(h func(http.ResponseWriter, *http.Request, *backend, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		b, local, ok := g.resolveID(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+			return
+		}
+		h(w, r, b, local)
+	}
+}
+
+// healthyCount tallies backends currently marked healthy.
+func (g *Gateway) healthyCount() int {
+	n := 0
+	for _, b := range g.backends {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// rankFor orders backends by HRW preference for key, healthy ones
+// first. Unhealthy backends stay in the list (after every healthy one,
+// still in HRW order) as a last resort: if the prober is wrong or the
+// whole fleet is flapping, trying beats refusing.
+func (g *Gateway) rankFor(key string) []*backend {
+	urls := make([]string, len(g.backends))
+	for i, b := range g.backends {
+		urls[i] = b.url
+	}
+	order := rankNodes(key, urls)
+	out := make([]*backend, 0, len(order))
+	for _, i := range order {
+		if g.backends[i].healthy.Load() {
+			out = append(out, g.backends[i])
+		}
+	}
+	for _, i := range order {
+		if !g.backends[i].healthy.Load() {
+			out = append(out, g.backends[i])
+		}
+	}
+	return out
+}
+
+// handleHealthz reports gateway readiness: ready while at least one
+// backend is.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := g.healthyCount()
+	status, code := "ok", http.StatusOK
+	if healthy == 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"backends_total":   len(g.backends),
+		"backends_healthy": healthy,
+		"uptime_sec":       time.Since(g.started).Seconds(),
+	})
+}

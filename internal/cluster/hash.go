@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sort"
+
+	episim "repro"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns a content key to
+// the backend with the highest score(key, backend). Its two properties
+// are exactly what cache-affine routing needs:
+//
+//   - deterministic: every gateway instance — and every restart — routes
+//     the same key to the same backend, with no shared state to sync;
+//   - minimal disruption: removing a backend reassigns only the keys it
+//     owned; every other key keeps its backend, so their placement
+//     caches stay hot through membership churn.
+
+// hrwScore mixes a routing key with a backend identity into a 64-bit
+// score: FNV-1a over "node \x00 key", finished with a splitmix64 round
+// so near-identical inputs still spread across the full range.
+func hrwScore(key, node string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// rankNodes returns indices into nodes ordered by descending HRW score
+// for key (ties broken by index, so the order is total and stable).
+func rankNodes(key string, nodes []string) []int {
+	order := make([]int, len(nodes))
+	scores := make([]uint64, len(nodes))
+	for i, n := range nodes {
+		order[i] = i
+		scores[i] = hrwScore(key, n)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// DominantPlacementKey reduces a sweep to the single routing key the
+// gateway shards on: the placement content key covering the most cells
+// of the grid (ties go to grid order). Placement builds dominate sweep
+// cost, and internal/ensemble caches them by exactly this key — so
+// routing every submission of a (population, placement) to the same
+// backend keeps that backend's memory and disk cache hot, which is the
+// paper's locality argument applied at cluster scale.
+//
+// The spec must already be normalized (ParseSweepSpec does this), or the
+// defaulted fields would perturb the key.
+func DominantPlacementKey(spec *episim.SweepSpec) string {
+	counts := map[string]int{}
+	var keys []string // first-seen order = grid order
+	for _, cell := range spec.Cells() {
+		k := cell.Placement.Key(cell.Population.Key(spec.Seed))
+		if counts[k] == 0 {
+			keys = append(keys, k)
+		}
+		counts[k]++
+	}
+	best := ""
+	for _, k := range keys {
+		if best == "" || counts[k] > counts[best] {
+			best = k
+		}
+	}
+	return best
+}

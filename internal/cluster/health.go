@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// probeLoop polls every backend's /healthz until the gateway closes.
+// The first round runs immediately so a backend that was down at boot is
+// ejected within one probe, not one interval.
+func (g *Gateway) probeLoop() {
+	defer close(g.done)
+	t := time.NewTicker(g.probeInterval)
+	defer t.Stop()
+	for {
+		for _, b := range g.backends {
+			g.probe(b)
+		}
+		select {
+		case <-t.C:
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// probe checks one backend. Any 2xx /healthz reply is healthy — one
+// success re-admits an ejected backend instantly, while ejection waits
+// for failAfter consecutive failures so a single slow probe doesn't
+// shed a healthy backend's cache-affine keys.
+func (g *Gateway) probe(b *backend) {
+	err := g.probeOnce(b)
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	if err == nil {
+		b.consecFails = 0
+		b.lastErr = ""
+		if !b.healthy.Swap(true) {
+			fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) healthy\n", b.name, b.url)
+		}
+		return
+	}
+	b.consecFails++
+	b.lastErr = err.Error()
+	if b.consecFails >= g.failAfter && b.healthy.Swap(false) {
+		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", b.name, b.url, err)
+	}
+}
+
+func (g *Gateway) probeOnce(b *backend) error {
+	resp, err := g.probec.Get(b.url + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// markFailed records a proxy-time transport failure: the backend is
+// ejected immediately (submissions must not keep timing out against a
+// dead instance while the prober counts to failAfter); the prober
+// re-admits it on its next successful probe.
+func (g *Gateway) markFailed(b *backend, err error) {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	b.consecFails = g.failAfter
+	b.lastErr = err.Error()
+	if b.healthy.Swap(false) {
+		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", b.name, b.url, err)
+	}
+}
+
+// reportFailure is markFailed behind a blame check: callerCtx is the
+// CLIENT's request context, and a proxied request that failed because
+// the caller went away (or the caller's own deadline lapsed) says
+// nothing about backend health — ejecting on it would let one impatient
+// client shed a healthy backend's cache-affine keys. A failure with the
+// caller still waiting — including the gateway's own per-attempt
+// timeout firing against a hung backend — is the backend's fault and
+// ejects it.
+func (g *Gateway) reportFailure(callerCtx context.Context, b *backend, err error) {
+	if callerCtx.Err() != nil {
+		return
+	}
+	g.markFailed(b, err)
+}
+
+// lastError snapshots the backend's most recent probe/proxy failure.
+func (b *backend) lastError() string {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	return b.lastErr
+}

@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	episim "repro"
+	"repro/client"
+)
+
+// controlTimeout bounds non-streaming proxied calls (submit, status,
+// cancel, list, stats). Event and result streams get no deadline.
+const controlTimeout = 15 * time.Second
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// backendHeader stamps which backend served a proxied request —
+// operational visibility (and what the routing smoke tests assert on).
+const backendHeader = "X-Episim-Backend"
+
+// forward issues one request to a backend, copying select headers.
+func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []string{"Content-Type", "Accept", "Last-Event-ID"} {
+		if v := hdr.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	return g.httpc.Do(req)
+}
+
+// relay copies a backend reply through verbatim.
+func relay(w http.ResponseWriter, resp *http.Response, b *backend) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(backendHeader, b.name)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleSubmit is the routing decision: parse the spec (rejecting bad
+// submissions at the edge), reduce it to its dominant placement content
+// key, and walk the HRW preference order until a backend takes the job.
+// The original body bytes are forwarded, so the backend parses exactly
+// what the client sent.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := episim.ParseSweepSpec(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := DominantPlacementKey(spec)
+
+	var lastErr error
+	// attempt posts to one backend under its own timeout budget (a hung
+	// first choice must not eat the fallbacks' time). It reports done
+	// when a response was relayed to the client and retryable when the
+	// next backend in HRW order may safely be tried.
+	attempt := func(b *backend, firstChoice bool) (done, retryable bool) {
+		ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
+		defer cancel()
+		resp, err := g.forward(ctx, b, http.MethodPost, "/v1/sweeps", body, r.Header)
+		if err != nil {
+			g.reportFailure(r.Context(), b, err)
+			lastErr = err
+			// Only retry elsewhere when the request provably never
+			// reached the backend (dial-phase failure). A connection
+			// that broke — or timed out — mid-request may have delivered
+			// the submission; re-posting it would run the sweep twice,
+			// so surface the error instead (the ejection above already
+			// re-routes the NEXT submission).
+			return false, isDialError(err) && r.Context().Err() == nil
+		}
+		if resp.StatusCode >= 500 {
+			// The backend answered but refused: alive (no ejection), and
+			// nothing was enqueued, so the next backend is safe to try.
+			lastErr = fmt.Errorf("backend %s: HTTP %d", b.name, resp.StatusCode)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return false, true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			relay(w, resp, b) // e.g. a 4xx the backend knows better about
+			return true, false
+		}
+		var ack client.SubmitReply
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			writeError(w, http.StatusBadGateway, "backend %s: bad submit reply: %v", b.name, err)
+			return true, false
+		}
+		ack.ID = b.gatewayID(ack.ID)
+		b.routed.Add(1)
+		g.submitted.Add(1)
+		if !firstChoice {
+			g.rerouted.Add(1) // accepted, but not by the cache-affine choice
+		}
+		w.Header().Set(backendHeader, b.name)
+		writeJSON(w, http.StatusAccepted, ack)
+		return true, false
+	}
+	for i, b := range g.rankFor(key) {
+		done, retryable := attempt(b, i == 0)
+		if done {
+			return
+		}
+		if !retryable {
+			break
+		}
+	}
+	writeError(w, http.StatusBadGateway, "no backend accepted the sweep: %v", lastErr)
+}
+
+// isDialError reports whether a request failed before it could reach the
+// backend at all — connection establishment — which is the only phase
+// where retrying a POST elsewhere cannot duplicate work.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// proxyStatus forwards a status fetch and re-issues the job id in
+// gateway form.
+func (g *Gateway) proxyStatus(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+	g.proxyJobJSON(w, r, b, http.MethodGet, "/v1/sweeps/"+local)
+}
+
+// proxyCancel forwards a cancel; the reply is a job status too.
+func (g *Gateway) proxyCancel(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+	g.proxyJobJSON(w, r, b, http.MethodPost, "/v1/sweeps/"+local+"/cancel")
+}
+
+// proxyJobJSON forwards a request whose 2xx reply is one JobStatus,
+// rewriting its id; everything else relays verbatim.
+func (g *Gateway) proxyJobJSON(w http.ResponseWriter, r *http.Request, b *backend, method, path string) {
+	ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
+	defer cancel()
+	resp, err := g.forward(ctx, b, method, path, nil, r.Header)
+	if err != nil {
+		g.reportFailure(r.Context(), b, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		relay(w, resp, b)
+		return
+	}
+	var st client.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		writeError(w, http.StatusBadGateway, "backend %s: bad status reply: %v", b.name, err)
+		return
+	}
+	st.ID = b.gatewayID(st.ID)
+	w.Header().Set(backendHeader, b.name)
+	writeJSON(w, resp.StatusCode, st)
+}
+
+// proxyResult streams the result bytes through untouched: the result
+// JSON carries no job id, so what the client reads through the gateway
+// is byte-identical to reading the backend directly — the durability
+// guarantee (canonical bytes across restarts) extends through the
+// routing tier.
+func (g *Gateway) proxyResult(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+	resp, err := g.forward(r.Context(), b, http.MethodGet, "/v1/sweeps/"+local+"/result", nil, r.Header)
+	if err != nil {
+		g.reportFailure(r.Context(), b, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp, b)
+}
+
+// handleList merges every live backend's job list, re-issued under
+// gateway ids, ordered by creation time (then id) — the same oldest-
+// first contract a single daemon serves.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
+	defer cancel()
+	type part struct {
+		jobs []client.JobStatus
+		err  error
+	}
+	parts := make([]part, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		if !b.healthy.Load() {
+			parts[i].err = fmt.Errorf("backend %s unhealthy; skipped", b.name)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			resp, err := g.forward(ctx, b, http.MethodGet, "/v1/sweeps", nil, r.Header)
+			if err != nil {
+				g.reportFailure(r.Context(), b, err)
+				parts[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				parts[i].err = fmt.Errorf("HTTP %d", resp.StatusCode)
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				return
+			}
+			var jobs []client.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+				parts[i].err = err
+				return
+			}
+			for j := range jobs {
+				jobs[j].ID = b.gatewayID(jobs[j].ID)
+			}
+			parts[i].jobs = jobs
+		}(i, b)
+	}
+	wg.Wait()
+	merged := []client.JobStatus{}
+	var missing []string
+	for i, p := range parts {
+		merged = append(merged, p.jobs...)
+		if p.err != nil {
+			missing = append(missing, g.backends[i].name)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if !merged[a].Created.Equal(merged[b].Created) {
+			return merged[a].Created.Before(merged[b].Created)
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if len(missing) > 0 {
+		// The body stays the plain array the client contract expects; the
+		// header flags that these backends' jobs are absent, not gone.
+		w.Header().Set("X-Episim-Partial", strings.Join(missing, ","))
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// proxyEvents streams a sweep's SSE/NDJSON events through the gateway,
+// preserving the replay contract: ?from= and Last-Event-ID pass through,
+// sequence numbers are the backend's own, and cell payloads are relayed
+// byte-for-byte. Only terminal events (which embed the job's status,
+// including its id) are re-encoded so the id a subscriber sees is the
+// one the gateway issued.
+func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+	path := "/v1/sweeps/" + local + "/events"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	resp, err := g.forward(r.Context(), b, http.MethodGet, path, nil, r.Header)
+	if err != nil {
+		g.reportFailure(r.Context(), b, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		relay(w, resp, b)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ct := resp.Header.Get("Content-Type")
+	ndjson := strings.Contains(ct, "ndjson")
+	if ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if !ndjson {
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	w.Header().Set(backendHeader, b.name)
+	w.WriteHeader(http.StatusOK)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case ndjson && len(line) > 0:
+			line = g.rewriteEventLine(line, b)
+		case !ndjson && bytes.HasPrefix(line, []byte("data:")):
+			payload := bytes.TrimPrefix(bytes.TrimPrefix(line, []byte("data:")), []byte(" "))
+			// Reframing an unchanged payload reproduces the backend's
+			// exact "data: <json>" line, so this is byte-transparent for
+			// cell events.
+			line = append([]byte("data: "), g.rewriteEventLine(payload, b)...)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return // subscriber gone; it reconnects and replays
+		}
+		// Flush on frame boundaries: every line for NDJSON, blank
+		// separator lines for SSE (so one event = one flush).
+		if ndjson || len(line) == 0 {
+			flusher.Flush()
+		}
+	}
+}
+
+// rewriteEventLine re-issues the job id inside a terminal event's
+// payload. Cell events — the hot path and the bulk of the bytes — carry
+// no job and pass through untouched (returned slice is the input).
+func (g *Gateway) rewriteEventLine(line []byte, b *backend) []byte {
+	if !bytes.Contains(line, []byte(`"job"`)) {
+		return line
+	}
+	var ev client.Event
+	if json.Unmarshal(line, &ev) != nil || ev.Job == nil {
+		return line
+	}
+	ev.Job.ID = b.gatewayID(ev.Job.ID)
+	out, err := json.Marshal(ev)
+	if err != nil {
+		return line
+	}
+	return out
+}

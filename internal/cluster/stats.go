@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	episim "repro"
+	"repro/client"
+	"repro/internal/server"
+)
+
+// GatewayStats describes the routing tier itself.
+type GatewayStats struct {
+	UptimeSec       float64 `json:"uptime_sec"`
+	BackendsTotal   int     `json:"backends_total"`
+	BackendsHealthy int     `json:"backends_healthy"`
+	// Submitted counts accepted submissions; Rerouted the subset that
+	// fell past their first-choice (cache-affine) backend — a high ratio
+	// means churn is costing cache locality.
+	Submitted int64 `json:"submitted"`
+	Rerouted  int64 `json:"rerouted"`
+}
+
+// BackendStatus is one backend's health and, when reachable, its own
+// stats snapshot.
+type BackendStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Routed counts submissions this gateway sent here.
+	Routed    int64              `json:"routed"`
+	LastError string             `json:"last_error,omitempty"`
+	Stats     *client.StatsReply `json:"stats,omitempty"`
+	// StatsError is set when the stats fetch itself failed (the backend
+	// may still be serving sweeps).
+	StatsError string `json:"stats_error,omitempty"`
+}
+
+// StatsReply is the gateway's /v1/stats: the fleet-wide aggregate in the
+// single-daemon shape (an episimd client pointed at the gateway decodes
+// it unchanged), plus gateway and per-backend detail.
+type StatsReply struct {
+	client.StatsReply
+	Gateway  GatewayStats    `json:"gateway"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+// statsTimeout bounds the whole stats fan-out: metrics scrapes have
+// their own deadlines (Prometheus defaults to 10s), so a slow backend
+// must cost less than that, not controlTimeout.
+const statsTimeout = 5 * time.Second
+
+// collectStats fans /v1/stats out to every healthy backend and
+// aggregates. Ejected backends are not dialed — a black-holed host
+// would stall every scrape for the full timeout exactly while its
+// health is most interesting; its entry reports unhealthy instead.
+func (g *Gateway) collectStats(ctx context.Context) StatsReply {
+	ctx, cancel := context.WithTimeout(ctx, statsTimeout)
+	defer cancel()
+	out := StatsReply{
+		Gateway: GatewayStats{
+			UptimeSec:       time.Since(g.started).Seconds(),
+			BackendsTotal:   len(g.backends),
+			BackendsHealthy: g.healthyCount(),
+			Submitted:       g.submitted.Load(),
+			Rerouted:        g.rerouted.Load(),
+		},
+		Backends: make([]BackendStatus, len(g.backends)),
+	}
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		out.Backends[i] = BackendStatus{
+			Name:      b.name,
+			URL:       b.url,
+			Healthy:   b.healthy.Load(),
+			Routed:    b.routed.Load(),
+			LastError: b.lastError(),
+		}
+		if !out.Backends[i].Healthy {
+			out.Backends[i].StatsError = "unreachable (ejected); stats omitted from aggregate"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			st, err := g.fetchStats(ctx, b)
+			if err != nil {
+				out.Backends[i].StatsError = err.Error()
+				return
+			}
+			out.Backends[i].Stats = st
+		}(i, b)
+	}
+	wg.Wait()
+	for _, bs := range out.Backends {
+		if bs.Stats != nil {
+			mergeStats(&out.StatsReply, *bs.Stats)
+		}
+	}
+	return out
+}
+
+func (g *Gateway) fetchStats(ctx context.Context, b *backend) (*client.StatsReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var st client.StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// mergeStats folds one backend's snapshot into the fleet aggregate.
+// Counters and gauges sum; uptime takes the longest-lived backend (the
+// fleet has been up at least that long).
+func mergeStats(into *client.StatsReply, st client.StatsReply) {
+	if st.UptimeSec > into.UptimeSec {
+		into.UptimeSec = st.UptimeSec
+	}
+	into.QueueDepth += st.QueueDepth
+	into.ActiveSweeps += st.ActiveSweeps
+	into.SweepsTotal += st.SweepsTotal
+	into.SweepsDone += st.SweepsDone
+	into.SweepsFailed += st.SweepsFailed
+	into.SweepsCanceled += st.SweepsCanceled
+	into.SweepsEvicted += st.SweepsEvicted
+	into.CellsStreamed += st.CellsStreamed
+	into.CellsPerSec += st.CellsPerSec
+	mergeCache(&into.PopulationCache, st.PopulationCache)
+	mergeCache(&into.PlacementCache, st.PlacementCache)
+	mergeStore(&into.PopulationStore, st.PopulationStore)
+	mergeStore(&into.PlacementStore, st.PlacementStore)
+	mergeStore(&into.ResultStore, st.ResultStore)
+}
+
+func mergeCache(a *episim.SweepCacheStats, b episim.SweepCacheStats) {
+	a.Entries += b.Entries
+	a.Bytes += b.Bytes
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.Builds += b.Builds
+	a.DiskHits += b.DiskHits
+	a.DiskMisses += b.DiskMisses
+	a.DiskWrites += b.DiskWrites
+	a.DiskErrors += b.DiskErrors
+}
+
+func mergeStore(a **episim.SweepStoreStats, b *episim.SweepStoreStats) {
+	if b == nil {
+		return
+	}
+	if *a == nil {
+		*a = &episim.SweepStoreStats{}
+	}
+	(*a).Files += b.Files
+	(*a).Bytes += b.Bytes
+	(*a).GCFiles += b.GCFiles
+	(*a).GCBytes += b.GCBytes
+}
+
+// handleStats serves the fleet-aggregated stats snapshot.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.collectStats(r.Context()))
+}
+
+// handleMetrics renders the aggregate in the per-instance Prometheus
+// vocabulary (episimd_*, summed across backends — one scrape target for
+// the fleet) followed by the gateway's own episim_gw_* series.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := g.collectStats(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	server.WriteMetrics(w, st.StatsReply)
+	fmt.Fprintf(w, "episim_gw_uptime_seconds %g\n", st.Gateway.UptimeSec)
+	fmt.Fprintf(w, "episim_gw_backends %d\n", st.Gateway.BackendsTotal)
+	fmt.Fprintf(w, "episim_gw_backends_healthy %d\n", st.Gateway.BackendsHealthy)
+	fmt.Fprintf(w, "episim_gw_submissions_total %d\n", st.Gateway.Submitted)
+	fmt.Fprintf(w, "episim_gw_submissions_rerouted_total %d\n", st.Gateway.Rerouted)
+	for _, bs := range st.Backends {
+		up := 0
+		if bs.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "episim_gw_backend_up{backend=%q,url=%q} %d\n", bs.Name, bs.URL, up)
+		fmt.Fprintf(w, "episim_gw_backend_routed_total{backend=%q} %d\n", bs.Name, bs.Routed)
+	}
+}

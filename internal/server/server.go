@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
@@ -35,8 +37,19 @@ type Config struct {
 	// unbounded). Evicted sweeps stay readable from the disk store.
 	Retain int
 	// ResultTTL evicts finished sweeps from the memory index once they
-	// are this old (0 = never).
+	// are this old (0 = never). With a cache dir it also expires their
+	// disk records: result artifacts not read within the TTL are removed
+	// by the background GC pass.
 	ResultTTL time.Duration
+	// Name identifies this instance (reported by /healthz; a gateway
+	// fronting several instances shows it). Empty = anonymous.
+	Name string
+	// StoreMaxBytes bounds the on-disk placement store: a background LRU
+	// sweep prunes least-recently-used placement artifacts past the bound
+	// (0 = unbounded). Requires CacheDir.
+	StoreMaxBytes int64
+	// GCInterval is the cadence of the disk GC pass (0 = 1 minute).
+	GCInterval time.Duration
 }
 
 // Server is the episimd service core: job store, scheduler, shared
@@ -46,6 +59,16 @@ type Server struct {
 	sched   *scheduler
 	cache   *episim.SweepCache
 	started time.Time
+
+	name     string
+	cacheDir string
+
+	// Disk GC: a background loop prunes the placement store to
+	// storeMaxBytes (LRU) and expires result records past resultTTL.
+	storeMaxBytes int64
+	resultTTL     time.Duration
+	gcStop        chan struct{}
+	gcDone        chan struct{}
 }
 
 // New builds a server executing sweeps with the real engine.
@@ -76,16 +99,74 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 		st.ttl = cfg.ResultTTL
 	}
 	slots := episim.NewSweepSlots(cfg.Workers)
-	return &Server{
-		store:   st,
-		sched:   newScheduler(st, cache, slots, cfg.Workers, cfg.MaxActive, run),
-		cache:   cache,
-		started: time.Now(),
-	}, nil
+	srv := &Server{
+		store:         st,
+		sched:         newScheduler(st, cache, slots, cfg.Workers, cfg.MaxActive, run),
+		cache:         cache,
+		started:       time.Now(),
+		name:          cfg.Name,
+		cacheDir:      cfg.CacheDir,
+		storeMaxBytes: cfg.StoreMaxBytes,
+		resultTTL:     cfg.ResultTTL,
+	}
+	if cfg.CacheDir != "" && (cfg.StoreMaxBytes > 0 || cfg.ResultTTL > 0) {
+		interval := cfg.GCInterval
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		srv.gcStop = make(chan struct{})
+		srv.gcDone = make(chan struct{})
+		go srv.gcLoop(interval)
+	}
+	return srv, nil
 }
 
-// Close cancels running sweeps and drains the runner pool.
-func (s *Server) Close() { s.sched.close() }
+// Close cancels running sweeps, drains the runner pool and stops the
+// disk GC loop.
+func (s *Server) Close() {
+	s.sched.close()
+	if s.gcStop != nil {
+		close(s.gcStop)
+		<-s.gcDone
+		s.gcStop = nil
+	}
+}
+
+// gcLoop periodically bounds the disk stores: an LRU sweep over the
+// placement store and a TTL expiry over persisted results. One pass runs
+// immediately so a restarted daemon reclaims space before serving.
+func (s *Server) gcLoop(interval time.Duration) {
+	defer close(s.gcDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		s.runGC()
+		select {
+		case <-t.C:
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// runGC executes one disk GC pass. Failures are logged, never fatal: GC
+// exists to reclaim space, not to gate service.
+func (s *Server) runGC() {
+	if s.storeMaxBytes > 0 {
+		if files, bytes, err := s.cache.GCPlacements(s.storeMaxBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "episimd: placement GC: %v\n", err)
+		} else if files > 0 {
+			fmt.Fprintf(os.Stderr, "episimd: placement GC pruned %d artifacts (%d bytes)\n", files, bytes)
+		}
+	}
+	if s.resultTTL > 0 && s.store.results != nil {
+		if files, bytes, err := s.store.results.ExpireOlderThan(s.resultTTL); err != nil {
+			fmt.Fprintf(os.Stderr, "episimd: result GC: %v\n", err)
+		} else if files > 0 {
+			fmt.Fprintf(os.Stderr, "episimd: result GC expired %d records (%d bytes)\n", files, bytes)
+		}
+	}
+}
 
 // Handler returns the service's HTTP API:
 //
@@ -99,6 +180,8 @@ func (s *Server) Close() { s.sched.close() }
 //	DELETE /v1/sweeps/{id}        same as cancel
 //	GET    /v1/stats              service + cache metrics (JSON)
 //	GET    /metrics               the same, Prometheus text format
+//	GET    /healthz               readiness: queue depth, active sweeps,
+//	                              cache-dir writability (503 when degraded)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -114,7 +197,54 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.stats())
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the readiness probe a fronting gateway (episim-gw)
+// polls: cheap, allocation-light, and honest about whether this instance
+// can actually take work — a daemon whose cache dir stopped being
+// writable would accept sweeps only to fail persisting their placements
+// and results, so that degrades readiness to 503.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := client.HealthReply{
+		Status:       "ok",
+		Instance:     s.name,
+		UptimeSec:    time.Since(s.started).Seconds(),
+		QueueDepth:   s.sched.queueDepth(),
+		ActiveSweeps: s.sched.activeCount(),
+	}
+	if s.cacheDir != "" {
+		h.CacheDir = s.cacheDir
+		writable := true
+		if err := checkWritable(s.cacheDir); err != nil {
+			writable = false
+			h.Status = "degraded"
+			h.Error = err.Error()
+		}
+		h.CacheDirWritable = &writable
+	}
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// checkWritable proves dir accepts writes by creating and removing a
+// probe file — permissions lie (root ignores mode bits) and statfs lies
+// (full disks stat fine), so actually writing is the only honest check.
+func checkWritable(dir string) error {
+	f, err := os.CreateTemp(dir, ".healthz-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -321,8 +451,14 @@ func (s *Server) stats() client.StatsReply {
 // handleMetrics renders the stats snapshot as Prometheus text-format
 // gauges/counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	WriteMetrics(w, s.stats())
+}
+
+// WriteMetrics renders a StatsReply as Prometheus text-format gauges and
+// counters. Exported so episim-gw can serve the cluster-aggregated
+// snapshot in exactly the per-instance metric vocabulary.
+func WriteMetrics(w io.Writer, st client.StatsReply) {
 	for _, m := range []struct {
 		name string
 		val  float64
@@ -363,6 +499,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"episimd_placement_store_bytes", storeBytes(st.PlacementStore)},
 		{"episimd_result_store_files", storeFiles(st.ResultStore)},
 		{"episimd_result_store_bytes", storeBytes(st.ResultStore)},
+		{"episimd_placement_store_gc_files_total", storeGCFiles(st.PlacementStore)},
+		{"episimd_placement_store_gc_bytes_total", storeGCBytes(st.PlacementStore)},
+		{"episimd_result_store_gc_files_total", storeGCFiles(st.ResultStore)},
+		{"episimd_result_store_gc_bytes_total", storeGCBytes(st.ResultStore)},
 	} {
 		fmt.Fprintf(w, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
 	}
@@ -382,4 +522,18 @@ func storeBytes(st *episim.SweepStoreStats) float64 {
 		return 0
 	}
 	return float64(st.Bytes)
+}
+
+func storeGCFiles(st *episim.SweepStoreStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return float64(st.GCFiles)
+}
+
+func storeGCBytes(st *episim.SweepStoreStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return float64(st.GCBytes)
 }

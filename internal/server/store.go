@@ -255,8 +255,9 @@ func (s *store) add(spec *episim.SweepSpec) *job {
 	// hand out an id whose artifact exists, or a later finish() would
 	// overwrite someone else's result. (A cache dir still assumes a
 	// single writer at a time; this guard covers the overlap window,
-	// not sustained multi-daemon writes — that is the ROADMAP's routing
-	// tier.)
+	// not sustained multi-daemon writes — scaled-out deployments give
+	// each instance its own cache dir, with episim-gw routing by content
+	// key so every instance's dir stays hot for its own keys.)
 	for s.results != nil && s.results.Has(fmt.Sprintf("sw-%06d", s.seq)) {
 		s.seq++
 	}
