@@ -114,16 +114,70 @@ type StatsReply struct {
 // cache dir stopped being writable).
 type HealthReply struct {
 	Status string `json:"status"` // "ok" or "degraded"
-	// Instance is the daemon's configured name (episimd -name).
+	// Instance is the daemon's configured name (episimd -name). A
+	// fronting gateway (episim-gw) adopts it as the backend's routing
+	// identity: job ids embed it and HRW placement hashes it, so a fleet
+	// can be reordered or readdressed without breaking either.
 	Instance     string  `json:"instance,omitempty"`
 	UptimeSec    float64 `json:"uptime_sec"`
 	QueueDepth   int     `json:"queue_depth"`
 	ActiveSweeps int     `json:"active_sweeps"`
+	// MaxActive is the daemon's concurrent-sweep bound; with QueueDepth
+	// it tells a load-aware router how saturated this instance is.
+	MaxActive int `json:"max_active,omitempty"`
 	// CacheDir and CacheDirWritable are present only for durable daemons;
 	// Error carries the probe failure when writability is lost.
 	CacheDir         string `json:"cache_dir,omitempty"`
 	CacheDirWritable *bool  `json:"cache_dir_writable,omitempty"`
 	Error            string `json:"error,omitempty"`
+}
+
+// ValidateInstanceName checks a daemon instance name against the rules
+// both episimd (-name flag) and episim-gw (name discovery) enforce —
+// one validator, so the two ends cannot drift: a gateway embeds the
+// name in job ids ("<name>-sw-000001"), so "-sw-" would make ids
+// ambiguous, and whitespace, commas or slashes break headers, URLs and
+// the -backends list syntax. Empty names are valid (anonymous daemon).
+func ValidateInstanceName(name string) error {
+	if strings.Contains(name, "-sw-") {
+		return fmt.Errorf("instance name %q must not contain \"-sw-\" (reserved as the job-id separator)", name)
+	}
+	// Allowlist, not denylist: the name is embedded raw in request paths
+	// (/v1/sweeps/<name>-sw-000001), headers and the -backends flag, so
+	// anything beyond hostname-safe characters ('?', '#', '%', ...)
+	// would boot a daemon whose job ids cannot be fetched.
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '.' || c == '_' || c == '-' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return fmt.Errorf("instance name %q may only contain letters, digits, '.', '_' and '-'", name)
+		}
+	}
+	if IsPositionalIdentity(name) {
+		return fmt.Errorf("instance name %q is reserved (the \"b<number>\" shape is the gateway's positional fallback identity)", name)
+	}
+	return nil
+}
+
+// IsPositionalIdentity reports whether name has the gateway's positional
+// identity shape ("b0", "b1", ... — 'b' followed by digits only). The
+// whole shape is reserved — not just names matching a backend's current
+// slot — because fleets grow and lists reorder: a daemon named "b2"
+// would have its ids silently re-resolved by position after any
+// reshuffle. ValidateInstanceName refuses it and the gateway's id
+// resolver positional-parses exactly it; sharing one predicate keeps
+// the two ends from drifting.
+func IsPositionalIdentity(name string) bool {
+	if len(name) < 2 || name[0] != 'b' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // Client talks to one episimd instance.
@@ -133,6 +187,11 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient. Streams run as long as
 	// the sweep does, so it must not set a global Timeout.
 	HTTPClient *http.Client
+	// ClientID, when set, is sent as the X-Episim-Client header on every
+	// request. A gateway (episim-gw) keys per-client admission quotas on
+	// it; unset, the gateway falls back to the remote address, which
+	// lumps every caller behind one NAT into one quota.
+	ClientID string
 }
 
 // New builds a client for the daemon at baseURL.
@@ -156,6 +215,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Episim-Client", c.ClientID)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -173,37 +235,98 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 
 // apiError is a non-2xx reply; it keeps the status code so retry logic
 // can distinguish server-side failures (5xx, possibly transient — a
-// gateway mid-failover answers 502) from permanent client errors (4xx).
+// gateway mid-failover answers 502) from permanent client errors (4xx),
+// and the advised Retry-After wait for 429 throttles.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
 
+// RetryAfter extracts the server-advised wait from a throttled (429)
+// submission error, for callers implementing their own backoff instead
+// of relying on Submit's built-in honoring. ok is false when err carries
+// no retry advice.
+func RetryAfter(err error) (wait time.Duration, ok bool) {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		return ae.retryAfter, true
+	}
+	return 0, false
+}
+
 // decodeError turns a non-2xx reply into an error carrying the server's
-// message and status.
+// message, status, and (on 429) its Retry-After advice. The gateway also
+// emits a millisecond-precision X-Episim-Retry-After-Ms header — the
+// standard Retry-After only has whole-second resolution — which is
+// preferred when present.
 func decodeError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var retryAfter time.Duration
+	if ms := resp.Header.Get("X-Episim-Retry-After-Ms"); ms != "" {
+		if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
+			retryAfter = time.Duration(n) * time.Millisecond
+		}
+	}
+	if retryAfter == 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				retryAfter = time.Duration(n) * time.Second
+			}
+		}
+	}
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(b, &e) == nil && e.Error != "" {
-		return &apiError{resp.StatusCode, fmt.Sprintf("episimd: %s (HTTP %d)", e.Error, resp.StatusCode)}
+		return &apiError{resp.StatusCode,
+			fmt.Sprintf("episimd: %s (HTTP %d)", e.Error, resp.StatusCode), retryAfter}
 	}
 	return &apiError{resp.StatusCode,
-		fmt.Sprintf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))}
+		fmt.Sprintf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b))), retryAfter}
 }
 
 // Submit enqueues a sweep and returns its acknowledgment.
+//
+// Submit honors admission control: when a gateway throttles the request
+// (HTTP 429 with Retry-After), it waits the advised interval and retries,
+// up to maxThrottleRetries times, so well-behaved callers back off
+// exactly as the server asks instead of hammering it. A single honored
+// wait is capped at maxThrottleWait — advice beyond that (a drained
+// quota with a seconds-per-token rate, a hostile server) surfaces as
+// the error immediately rather than silently blocking the caller for
+// minutes; use RetryAfter on the returned error to schedule a later
+// retry. Cancellation via ctx interrupts the wait; a 429 with no
+// Retry-After also surfaces immediately.
 func (c *Client) Submit(ctx context.Context, spec *episim.SweepSpec) (SubmitReply, error) {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+	const (
+		maxThrottleRetries = 4
+		maxThrottleWait    = 30 * time.Second
+	)
+	body, err := json.Marshal(spec)
+	if err != nil {
 		return SubmitReply{}, err
 	}
-	var ack SubmitReply
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", &buf, &ack)
-	return ack, err
+	for attempt := 0; ; attempt++ {
+		var ack SubmitReply
+		err := c.do(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(body), &ack)
+		if err == nil {
+			return ack, nil
+		}
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.status != http.StatusTooManyRequests ||
+			ae.retryAfter <= 0 || ae.retryAfter > maxThrottleWait ||
+			attempt >= maxThrottleRetries {
+			return SubmitReply{}, err
+		}
+		select {
+		case <-time.After(ae.retryAfter):
+		case <-ctx.Done():
+			return SubmitReply{}, ctx.Err()
+		}
+	}
 }
 
 // Status fetches one job's snapshot.
@@ -351,6 +474,9 @@ func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(Ev
 		return last, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if c.ClientID != "" {
+		req.Header.Set("X-Episim-Client", c.ClientID)
+	}
 	if from > 0 {
 		// Redundant with ?from= (which the server prefers) but keeps
 		// SSE-aware intermediaries informed of the resume point.

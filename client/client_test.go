@@ -160,3 +160,75 @@ func TestStreamGivesUpWithoutProgress(t *testing.T) {
 		t.Fatal("Stream against a permanently-5xx server must eventually fail")
 	}
 }
+
+// TestSubmitHonorsRetryAfter: a 429 with Retry-After advice is waited
+// out and retried transparently; the caller sees one successful ack.
+func TestSubmitHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-Episim-Client"); got != "tenant-t" {
+			t.Errorf("X-Episim-Client = %q, want tenant-t", got)
+		}
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Episim-Retry-After-Ms", "20")
+			http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitReply{ID: "sw-000001", Cells: 1, Simulations: 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.ClientID = "tenant-t"
+	ack, err := c.Submit(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != "sw-000001" || calls.Load() != 3 {
+		t.Fatalf("ack %+v after %d calls, want sw-000001 on the 3rd", ack, calls.Load())
+	}
+}
+
+// TestSubmitSurfacesExhaustedThrottle: when the server never relents,
+// Submit stops retrying and surfaces the 429 with its advice intact for
+// callers running their own backoff.
+func TestSubmitSurfacesExhaustedThrottle(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("X-Episim-Retry-After-Ms", "5")
+		http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Submit(context.Background(), nil)
+	if err == nil {
+		t.Fatal("Submit against a permanent 429 must fail")
+	}
+	if wait, ok := RetryAfter(err); !ok || wait != 5*time.Millisecond {
+		t.Fatalf("RetryAfter(err) = %v %v, want 5ms true", wait, ok)
+	}
+	if calls.Load() != 5 { // initial attempt + maxThrottleRetries
+		t.Fatalf("made %d attempts, want 5", calls.Load())
+	}
+}
+
+// TestSubmitNoRetryWithoutAdvice: a 429 carrying no Retry-After is not
+// blindly retried — the server gave no schedule, hammering it is wrong.
+func TestSubmitNoRetryWithoutAdvice(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	if _, err := New(ts.URL).Submit(context.Background(), nil); err == nil {
+		t.Fatal("Submit must surface the 429")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("made %d attempts, want 1", calls.Load())
+	}
+}

@@ -4,19 +4,33 @@
 // healthy backends), so repeat submissions of the same population and
 // placement land on the instance whose placement cache is already warm.
 // Status, results, cancels and event streams proxy transparently — job
-// ids issued by the gateway embed the owning backend — and /v1/stats and
-// /metrics aggregate the whole fleet.
+// ids issued by the gateway embed the owning backend's name — and
+// /v1/stats and /metrics aggregate the whole fleet.
 //
 // Usage:
 //
 //	episim-gw -addr :8320 -backends http://10.0.0.1:8321,http://10.0.0.2:8321
 //
+// Backend identity comes from each daemon's own name (`episimd -name`,
+// discovered via /healthz), not from its position in -backends: the list
+// can be reordered, extended, or re-addressed across gateway restarts
+// without breaking issued job ids or moving any key's cache-affine
+// owner. A daemon that reports no name falls back to positional identity
+// ("b0", "b1", ...) — only then does list order matter.
+//
 // Backends are probed via /healthz every -probe-interval; a backend
 // failing -fail-after consecutive probes (or any submit) is ejected and
 // submissions re-route to the next backend in preference order until it
-// recovers. Keep the -backends list order stable across gateway
-// restarts: a backend's identity (b0, b1, ...) is its position in the
-// list and issued job ids embed it — append new backends at the end.
+// recovers. With -spill-queue-depth N, a submission also routes past a
+// healthy owner whose queue depth exceeds N to the HRW runner-up —
+// trading one cold placement build for tail latency — counted by the
+// episim_gw_spilled_total metric.
+//
+// Admission control (off by default) throttles each client — keyed by
+// the X-Episim-Client header, else the remote address — with a token
+// bucket (-submit-rate, -submit-burst) and an in-flight sweep cap
+// (-max-inflight-per-client), answering 429 + Retry-After, which the
+// repro/client package honors automatically.
 //
 // Existing clients need no changes: point them at the gateway instead of
 // a single daemon.
@@ -40,10 +54,14 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", ":8320", "listen address")
-		backends      = flag.String("backends", "", "comma-separated episimd base URLs (required; order is identity — keep it stable)")
+		backends      = flag.String("backends", "", "comma-separated episimd base URLs (required; identity comes from each daemon's -name, so order is free)")
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe cadence")
 		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "health-probe request timeout")
 		failAfter     = flag.Int("fail-after", 2, "consecutive failed probes before a backend is ejected")
+		spillDepth    = flag.Int("spill-queue-depth", 0, "spill a submission to the HRW runner-up when the owner's queue depth exceeds this (0 = pure content-key affinity)")
+		maxInflight   = flag.Int("max-inflight-per-client", 0, "cap on one client's unfinished sweeps across the fleet (0 = unlimited)")
+		submitRate    = flag.Float64("submit-rate", 0, "per-client sustained submission rate, sweeps/sec (0 = unlimited)")
+		submitBurst   = flag.Int("submit-burst", 0, "per-client submission burst size (0 = max(1, 2×submit-rate))")
 	)
 	flag.Parse()
 
@@ -59,10 +77,14 @@ func main() {
 	}
 
 	gw, err := cluster.New(cluster.Config{
-		Backends:      urls,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailAfter:     *failAfter,
+		Backends:             urls,
+		ProbeInterval:        *probeInterval,
+		ProbeTimeout:         *probeTimeout,
+		FailAfter:            *failAfter,
+		SpillQueueDepth:      *spillDepth,
+		MaxInflightPerClient: *maxInflight,
+		SubmitRate:           *submitRate,
+		SubmitBurst:          *submitBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "episim-gw:", err)
@@ -75,8 +97,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "episim-gw: listening on %s, fronting %d backends (probe every %v, eject after %d failures)\n",
-		*addr, len(urls), *probeInterval, *failAfter)
+	admission := "admission off"
+	if *submitRate > 0 || *maxInflight > 0 {
+		admission = fmt.Sprintf("admission rate=%g/s max-inflight=%d", *submitRate, *maxInflight)
+	}
+	fmt.Fprintf(os.Stderr, "episim-gw: listening on %s, fronting %d backends (probe every %v, eject after %d failures, spill depth %d, %s)\n",
+		*addr, len(urls), *probeInterval, *failAfter, *spillDepth, admission)
 
 	select {
 	case err := <-errCh:

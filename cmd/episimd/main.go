@@ -36,15 +36,30 @@ import (
 	"syscall"
 	"time"
 
+	"repro/client"
 	"repro/internal/server"
 )
 
-// defaultName identifies this instance when -name is not given.
+// defaultName identifies this instance when -name is not given: the
+// hostname when it passes the instance-name rules, else a safe constant
+// — a host that happens to be called "build-sw-east" (or "b2") must
+// still boot with default flags; only an EXPLICIT bad -name is an
+// error.
 func defaultName() string {
-	if h, err := os.Hostname(); err == nil {
+	if h, err := os.Hostname(); err == nil && client.ValidateInstanceName(h) == nil {
 		return h
 	}
 	return "episimd"
+}
+
+// validateName applies the shared instance-name rules (see
+// client.ValidateInstanceName — the gateway enforces the same ones when
+// it discovers names, so a daemon that boots is a daemon that routes).
+func validateName(name string) error {
+	if err := client.ValidateInstanceName(name); err != nil {
+		return fmt.Errorf("episimd: -name: %w", err)
+	}
+	return nil
 }
 
 func main() {
@@ -57,9 +72,14 @@ func main() {
 		retain    = flag.Int("retain", 1024, "finished sweeps kept in the memory index; older ones evict (to disk with -cache-dir) (0 = unbounded)")
 		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index — and, with -cache-dir, expire their disk records — after this age, e.g. 24h (0 = never)")
 		storeMax  = flag.Int64("store-max-bytes", 0, "bound the on-disk placement store: a background LRU sweep prunes least-recently-used artifacts past this size (0 = unbounded)")
-		name      = flag.String("name", defaultName(), "instance name reported by /healthz (shown by episim-gw)")
+		name      = flag.String("name", defaultName(), "instance name reported by /healthz; a fronting episim-gw adopts it as this backend's routing identity and embeds it in job ids")
 	)
 	flag.Parse()
+
+	if err := validateName(*name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	srv, err := server.New(server.Config{
 		Workers:       *workers,

@@ -1,20 +1,30 @@
 // Example cluster boots two in-process episimd backends behind an
-// episim-gw gateway and demonstrates the three scale-out properties:
+// episim-gw gateway and demonstrates the scale-out properties:
 //
-//  1. content-key affinity — two submissions of the same sweep route to
+//  1. named-backend identity — each backend's routing identity is the
+//     name its daemon reports on /healthz (episimd -name), so job ids
+//     read "node-0-sw-000001" and the backend list can be reordered or
+//     re-addressed without breaking ids or moving keys;
+//  2. content-key affinity — two submissions of the same sweep route to
 //     the same backend, and the second performs zero placement builds
 //     (the routed backend's cache is warm);
-//  2. transparent proxying — the client is the ordinary episimd client
+//  3. transparent proxying — the client is the ordinary episimd client
 //     pointed at the gateway; streams, results and stats just work;
-//  3. failover — killing the routed backend re-routes the next
-//     submission to the survivor with no client-visible change.
+//  4. failover — killing the routed backend re-routes the next
+//     submission to the survivor with no client-visible change;
+//  5. hardening knobs — the gateway here also runs with load-aware
+//     spill (SpillQueueDepth) and per-client admission control armed;
+//     the final stats line shows their counters (zero in this calm
+//     walkthrough — they exist to clip real bursts).
 //
 // Run with:
 //
 //	go run ./examples/cluster
 //
-// In production each backend is its own `episimd` process (or machine)
-// and the gateway is `episim-gw -backends http://a:8321,http://b:8321`.
+// In production each backend is its own `episimd -name ...` process (or
+// machine) and the gateway is
+// `episim-gw -backends http://a:8321,http://b:8321 -spill-queue-depth 8
+// -submit-rate 50 -max-inflight-per-client 32`.
 package main
 
 import (
@@ -33,7 +43,8 @@ import (
 )
 
 func main() {
-	// Two share-nothing backends, each with its own cache.
+	// Two share-nothing backends, each with its own cache and its own
+	// name — the name, not the list position, is its identity.
 	var urls []string
 	var srvs []*http.Server
 	var cores []*server.Server
@@ -55,11 +66,15 @@ func main() {
 		cores = append(cores, core)
 	}
 
-	// The gateway: stateless, routes by placement content key.
+	// The gateway: stateless, routes by placement content key, spills
+	// off a saturated owner, and throttles unruly clients.
 	gw, err := cluster.New(cluster.Config{
-		Backends:      urls,
-		ProbeInterval: 200 * time.Millisecond,
-		FailAfter:     1,
+		Backends:             urls,
+		ProbeInterval:        200 * time.Millisecond,
+		FailAfter:            1,
+		SpillQueueDepth:      8,  // divert when the owner has >8 sweeps queued
+		SubmitRate:           50, // per-client sweeps/sec, burst 2×
+		MaxInflightPerClient: 32,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,8 +103,11 @@ func main() {
 		return st
 	}
 
-	// The ordinary episimd client, pointed at the gateway.
+	// The ordinary episimd client, pointed at the gateway. ClientID keys
+	// the gateway's admission quotas (and Submit honors its 429
+	// Retry-After automatically).
 	c := client.New(gwURL)
+	c.ClientID = "example-tenant"
 	ctx := context.Background()
 	spec := &episim.SweepSpec{
 		Populations: []episim.SweepPopulation{{State: "WY", Scale: 600}},
@@ -117,11 +135,12 @@ func main() {
 			tag, ack.ID, routed, st.PlacementCache.Builds)
 	}
 
-	// 1 + 2: affinity. Same spec twice → same backend, one build total.
+	// 1 + 2 + 3: affinity under named identity. Same spec twice → same
+	// named backend (the job id says which), one build total.
 	run("first submission ")
 	run("second submission") // same backend, zero new builds
 
-	// 3: failover. Kill the backend holding the warm cache; the next
+	// 4: failover. Kill the backend holding the warm cache; the next
 	// submission re-routes to the survivor and still completes (it
 	// rebuilds the placement there — one more fleet build, not an error).
 	killed := -1
@@ -135,4 +154,10 @@ func main() {
 	cores[killed].Close()
 	time.Sleep(600 * time.Millisecond) // a few probe rounds: prober ejects it
 	run("after failover   ")
+
+	// 5: the hardening counters (all zero here — nothing was saturated
+	// or throttled — but this is what to alert on in production).
+	st := fleetStats()
+	fmt.Printf("gateway counters: spilled=%d throttled_rate=%d throttled_inflight=%d rerouted=%d\n",
+		st.Gateway.Spilled, st.Gateway.ThrottledRate, st.Gateway.ThrottledInflight, st.Gateway.Rerouted)
 }

@@ -1,0 +1,264 @@
+//go:build chaos
+
+package cluster
+
+// Chaos end-to-end: real episimd and episim-gw binaries, a real SIGKILL.
+// This is the CI chaos job (ci.yml "chaos"): it proves the full
+// kill-a-backend story across process boundaries —
+//
+//  1. a client streaming a sweep whose owner is killed mid-stream
+//     auto-reconnects through the gateway (and gives up cleanly once the
+//     job is truly unrecoverable, instead of hanging);
+//  2. the prober ejects the dead backend and a re-submission of the same
+//     spec re-routes to the survivor;
+//  3. the re-routed sweep completes with byte-identical aggregation —
+//     determinism holds across backends, so failover costs a placement
+//     rebuild, never a different answer.
+//
+// Run with: go test -tags chaos -run TestChaosKillOwnerMidStream ./internal/cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	episim "repro"
+	"repro/client"
+)
+
+// chaosSpec is sized to run for a few seconds: long enough that a kill
+// lands mid-sweep, short enough for CI.
+func chaosSpec() *episim.SweepSpec {
+	s := &episim.SweepSpec{
+		Populations: []episim.SweepPopulation{{Name: "chaos-town", People: 3000, Locations: 300}},
+		Placements:  []episim.SweepPlacement{{Strategy: "GP", SplitLoc: true, Ranks: 4}},
+		Scenarios: []episim.SweepScenario{
+			{Name: "baseline"},
+			{Name: "closure", Text: "when day >= 5 { close school for 14 }"},
+		},
+		Replicates: 6,
+		Days:       45,
+		Seed:       7,
+	}
+	s.Normalize()
+	return s
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("build %s: %v", pkg, err)
+	}
+	return bin
+}
+
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func waitHealthy(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			var h struct {
+				Healthy int `json:"backends_healthy"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err == nil && h.Healthy == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never reached %d healthy backends", want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// submitRawURL posts a spec and returns the ack plus the routed backend.
+func submitRawURL(t *testing.T, gwURL string, spec *episim.SweepSpec) (client.SubmitReply, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(gwURL+"/v1/sweeps", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var ack client.SubmitReply
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		t.Fatalf("submit reply %q: %v", raw, err)
+	}
+	return ack, resp.Header.Get("X-Episim-Backend")
+}
+
+func fetchResult(t *testing.T, gwURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/v1/sweeps/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d: %s", id, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func TestChaosKillOwnerMidStream(t *testing.T) {
+	dir := t.TempDir()
+	episimd := buildBinary(t, dir, "repro/cmd/episimd")
+	gwBin := buildBinary(t, dir, "repro/cmd/episim-gw")
+
+	ports := []int{freePort(t), freePort(t), freePort(t)}
+	names := []string{"chaos-a", "chaos-b"}
+	procs := map[string]*exec.Cmd{}
+	var backendURLs []string
+	for i, name := range names {
+		addr := fmt.Sprintf("127.0.0.1:%d", ports[i])
+		procs[name] = startProc(t, episimd,
+			"-addr", addr, "-name", name, "-max-active", "2",
+			"-cache-dir", filepath.Join(dir, name))
+		backendURLs = append(backendURLs, "http://"+addr)
+	}
+	gwAddr := fmt.Sprintf("127.0.0.1:%d", ports[2])
+	startProc(t, gwBin,
+		"-addr", gwAddr,
+		"-backends", strings.Join(backendURLs, ","),
+		"-probe-interval", "100ms", "-fail-after", "1")
+	gwURL := "http://" + gwAddr
+	waitHealthy(t, gwURL, 2)
+
+	spec := chaosSpec()
+	c := client.New(gwURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	// Reference run: completes untouched; its canonical bytes are the
+	// oracle the post-chaos re-run must reproduce.
+	refAck, owner := submitRawURL(t, gwURL, spec)
+	if err := c.Stream(ctx, refAck.ID, 0, func(client.Event) error { return nil }); err != nil {
+		t.Fatalf("reference stream: %v", err)
+	}
+	reference := fetchResult(t, gwURL, refAck.ID)
+	t.Logf("reference %s on %s: %d result bytes", refAck.ID, owner, len(reference))
+
+	// Chaos run: same spec (same owner, warm cache), killed mid-stream.
+	chaosAck, chaosOwner := submitRawURL(t, gwURL, spec)
+	if chaosOwner != owner {
+		t.Fatalf("chaos run routed to %s, reference went to %s", chaosOwner, owner)
+	}
+	streamErr := make(chan error, 1)
+	firstEvent := make(chan struct{}, 1)
+	go func() {
+		seen := false
+		streamErr <- c.Stream(ctx, chaosAck.ID, 0, func(client.Event) error {
+			if !seen {
+				seen = true
+				firstEvent <- struct{}{}
+			}
+			return nil
+		})
+	}()
+	select {
+	case <-firstEvent:
+	case <-time.After(90 * time.Second):
+		t.Fatal("no event arrived before the kill window")
+	}
+	if err := procs[owner].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("killed owner %s mid-stream", owner)
+
+	// The client must auto-reconnect through the gateway — and, since
+	// the job died with its backend, give up cleanly after bounded
+	// retries rather than hanging or failing on the first cut.
+	select {
+	case err := <-streamErr:
+		if err == nil {
+			t.Fatal("stream of a killed job ended without error")
+		}
+		if !strings.Contains(err.Error(), "giving up after") {
+			t.Fatalf("stream did not exhaust reconnects, got: %v", err)
+		}
+		t.Logf("stream gave up as designed: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("stream never returned after the kill")
+	}
+
+	// The prober ejects the corpse; the same spec re-routes to the
+	// survivor and completes with byte-identical aggregation.
+	waitHealthy(t, gwURL, 1)
+	redoAck, survivor := submitRawURL(t, gwURL, spec)
+	if survivor == owner {
+		t.Fatalf("re-submission routed to the killed backend %s", survivor)
+	}
+	if err := c.Stream(ctx, redoAck.ID, 0, func(client.Event) error { return nil }); err != nil {
+		t.Fatalf("failover stream: %v", err)
+	}
+	redone := fetchResult(t, gwURL, redoAck.ID)
+	if !bytes.Equal(reference, redone) {
+		t.Fatalf("failover aggregation differs: %d vs %d bytes", len(reference), len(redone))
+	}
+
+	var stats struct {
+		Gateway struct {
+			Rerouted int64 `json:"rerouted"`
+		} `json:"gateway"`
+	}
+	resp, err := http.Get(gwURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos OK: owner %s killed, survivor %s reproduced %d bytes (rerouted=%d)",
+		owner, survivor, len(redone), stats.Gateway.Rerouted)
+}

@@ -180,14 +180,63 @@ func TestDominantPlacementKey(t *testing.T) {
 
 func TestResolveID(t *testing.T) {
 	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
-	b, local, ok := tc.gw.resolveID("b1-sw-000042")
+	// Named ids: identity is the daemon's /healthz name, dashes included.
+	b, local, ok := tc.gw.resolveID("node-1-sw-000042")
 	if !ok || b.index != 1 || local != "sw-000042" {
 		t.Fatalf("resolveID = %v %q %v", b, local, ok)
 	}
-	for _, bad := range []string{"", "sw-000042", "b9-sw-000001", "bx-sw-1", "b0-", "b-1-x"} {
+	// Legacy positional ids keep resolving (ids issued before the
+	// gateway learned names, or by a PR-4 era gateway).
+	b, local, ok = tc.gw.resolveID("b1-sw-000042")
+	if !ok || b.index != 1 || local != "sw-000042" {
+		t.Fatalf("positional resolveID = %v %q %v", b, local, ok)
+	}
+	for _, bad := range []string{"", "sw-000042", "b9-sw-000001", "bx-sw-1", "b0-", "b-1-x",
+		"node-7-sw-000001", "-sw-000001", "node-1-sw-"} {
 		if _, _, ok := tc.gw.resolveID(bad); ok {
 			t.Fatalf("resolveID accepted %q", bad)
 		}
+	}
+}
+
+// TestNamedIdentityReorder is the fleet-reconfiguration half of the
+// acceptance criterion: a gateway booted over the SAME backends in a
+// DIFFERENT -backends order must route the same spec to the same named
+// backend, and ids issued by the first gateway must stay valid.
+func TestNamedIdentityReorder(t *testing.T) {
+	tc := bootCluster(t, 3, Config{ProbeInterval: time.Hour})
+	body := specBody(t, testSpec())
+	ack, first := tc.submitRaw(t, body)
+	tc.waitDone(t, ack.ID)
+	if !strings.HasPrefix(ack.ID, "node-") {
+		t.Fatalf("gateway id %q does not embed the backend name", ack.ID)
+	}
+
+	// Reversed backend list: same fleet, different positions.
+	reversed := make([]string, len(tc.urls))
+	for i, u := range tc.urls {
+		reversed[len(tc.urls)-1-i] = u
+	}
+	gw2, err := New(Config{Backends: reversed, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+	gts2 := httptest.NewServer(gw2.Handler())
+	defer gts2.Close()
+	tc2 := &testCluster{gw: gw2, gwURL: gts2.URL, urls: reversed}
+
+	// Routing affinity survives the reorder (identity is the name).
+	if _, again := tc2.submitRaw(t, body); again != first {
+		t.Fatalf("reordered gateway routed to %s, original routes to %s", again, first)
+	}
+	// Ids issued under the old order resolve through the new gateway.
+	st, err := client.New(tc2.gwURL).Status(context.Background(), ack.ID)
+	if err != nil {
+		t.Fatalf("status for pre-reorder id %s: %v", ack.ID, err)
+	}
+	if st.ID != ack.ID || st.State != client.StateDone {
+		t.Fatalf("pre-reorder id %s resolved to %+v", ack.ID, st)
 	}
 }
 
@@ -270,10 +319,11 @@ func TestFailoverReRoutes(t *testing.T) {
 	ack, first := tc.submitRaw(t, body)
 	tc.waitDone(t, ack.ID)
 
-	// Kill the backend that owns this key.
+	// Kill the backend that owns this key (identities are the daemons'
+	// names, "node-<i>").
 	var dead int
 	for i, u := range tc.urls {
-		if fmt.Sprintf("b%d", i) == first {
+		if fmt.Sprintf("node-%d", i) == first {
 			dead = i
 			tc.backends[i].CloseClientConnections()
 			tc.backends[i].Close()
@@ -290,7 +340,7 @@ func TestFailoverReRoutes(t *testing.T) {
 	}
 	// ...and the same spec now routes to the survivor, transparently.
 	ack2, second := tc.submitRaw(t, body)
-	if second == fmt.Sprintf("b%d", dead) {
+	if second == fmt.Sprintf("node-%d", dead) {
 		t.Fatalf("submission routed to the dead backend %s", second)
 	}
 	tc.waitDone(t, ack2.ID)
@@ -313,7 +363,7 @@ func TestResultBytesIdenticalThroughGateway(t *testing.T) {
 		t.Fatalf("gateway result: HTTP %d", code)
 	}
 	b, local, ok := tc.gw.resolveID(ack.ID)
-	if !ok || b.name != name {
+	if !ok || b.identity() != name {
 		t.Fatalf("ack id %q does not resolve to backend %s", ack.ID, name)
 	}
 	code, direct := getRaw(t, b.url+"/v1/sweeps/"+local+"/result")

@@ -5,32 +5,50 @@
 // it via rendezvous hashing over the healthy backend set, so repeat
 // submissions of the same (population, placement) always land on the
 // instance whose memory and disk caches already hold the build. Job ids
-// issued by the gateway embed the backend identity ("b0-sw-000001"), so
-// status, result, cancel and event-stream requests proxy straight to the
-// owning backend with no routing table anywhere.
+// issued by the gateway embed the backend's *name* ("node-0-sw-000001"),
+// discovered from each daemon's /healthz, so status, result, cancel and
+// event-stream requests proxy straight to the owning backend with no
+// routing table anywhere — and the -backends list can be reordered,
+// grown, or re-addressed without invalidating issued ids or moving keys,
+// because both routing and identity hang off the name, not the position.
+//
+// Routing is load-aware: when the HRW owner's queue depth (reported by
+// /healthz and tracked between probes) exceeds the configured spill
+// bound, the submission spills to the HRW runner-up even while the owner
+// is healthy — one cold placement build traded for tail latency.
+// Admission control throttles each client (X-Episim-Client header, else
+// remote address) with a token bucket and an in-flight sweep cap,
+// answering 429 + Retry-After so a burst from one tenant cannot starve
+// the fleet.
 //
 // An active prober ejects backends whose /healthz stops answering (and
 // re-admits them when it recovers); submissions re-route down the HRW
 // preference order, so a dead backend costs its keys one cold cache, not
-// an outage. /v1/stats and /metrics aggregate the whole fleet.
+// an outage. /v1/stats and /metrics aggregate the whole fleet, degrading
+// to last-known backend snapshots (flagged by the fleet_healthy gauge)
+// rather than zeros when backends are unreachable.
 package cluster
 
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/client"
 )
 
 // Config sizes one gateway.
 type Config struct {
 	// Backends are the episimd base URLs, e.g. "http://10.0.0.1:8321".
-	// Order matters: a backend's identity (b0, b1, ...) is its position
-	// here, and issued job ids embed it — keep the list stable across
-	// gateway restarts (append new backends at the end).
+	// Order does not matter: a backend's identity is the name its daemon
+	// reports on /healthz (episimd -name), so the list can be reordered
+	// or extended freely. A daemon that reports no name falls back to its
+	// positional identity ("b0", "b1", ...) — only then does order count.
 	Backends []string
 	// ProbeInterval is the /healthz polling cadence (0 = 2s).
 	ProbeInterval time.Duration
@@ -39,6 +57,21 @@ type Config struct {
 	// FailAfter is how many consecutive probe failures eject a backend
 	// (0 = 2). One successful probe re-admits it.
 	FailAfter int
+	// SpillQueueDepth enables load-aware spill: when the HRW owner's
+	// queue depth exceeds this bound, the submission routes to the next
+	// backend in HRW order whose queue is within it, even while the owner
+	// is healthy (0 = disabled; pure content-key affinity).
+	SpillQueueDepth int
+	// MaxInflightPerClient caps sweeps a single client may have
+	// unfinished across the fleet (0 = unlimited). Excess submissions
+	// get 429 + Retry-After.
+	MaxInflightPerClient int
+	// SubmitRate is the per-client sustained submission rate in sweeps
+	// per second (0 = unlimited), enforced by a token bucket of
+	// SubmitBurst capacity.
+	SubmitRate float64
+	// SubmitBurst is the token-bucket capacity (0 = max(1, 2×SubmitRate)).
+	SubmitBurst int
 	// HTTPClient proxies requests to backends. It must not set a global
 	// Timeout (event streams run as long as sweeps do); nil uses a
 	// default transport.
@@ -47,17 +80,33 @@ type Config struct {
 
 // backend is one episimd instance as the gateway sees it.
 type backend struct {
-	index int
-	name  string // "b0", "b1", ... — embedded in gateway job ids
-	url   string
+	index    int
+	fallback string // positional identity "b0", used until a name is known
+	url      string
 
 	healthy atomic.Bool
 	routed  atomic.Int64 // submissions this backend accepted
 
+	// lastStats is the most recent successful /v1/stats snapshot, kept
+	// so fleet aggregates degrade to last-known values instead of zeros
+	// while the backend is unreachable.
+	lastStats atomic.Pointer[client.StatsReply]
+
 	// Prober state (prober goroutine + failure reports from proxying).
 	probeMu     sync.Mutex
+	name        string // discovered via /healthz ("" until first contact)
+	lastRefused string // last name refused by registerName (log once, not per probe)
 	consecFails int
 	lastErr     string
+	// unhealthySince is when the backend was last ejected (zero while
+	// healthy); admission's ledger forgiveness keys off its duration so
+	// a transient blip doesn't erase still-running jobs from the books.
+	unhealthySince time.Time
+	// probedDepth is the queue depth from the last successful probe;
+	// sinceProbe counts submissions this gateway routed here after it, so
+	// the spill decision sees bursts the next probe hasn't yet.
+	probedDepth int
+	sinceProbe  int
 }
 
 // Gateway fronts N episimd backends behind the episimd HTTP API.
@@ -68,6 +117,14 @@ type Gateway struct {
 
 	probeInterval time.Duration
 	failAfter     int
+	spillDepth    int
+
+	// byName maps discovered backend names to backends for id
+	// resolution; fallback positional names resolve by index.
+	nameMu sync.RWMutex
+	byName map[string]*backend
+
+	admit *admission
 
 	started time.Time
 	stop    chan struct{}
@@ -75,11 +132,17 @@ type Gateway struct {
 
 	submitted atomic.Int64 // submissions accepted by some backend
 	rerouted  atomic.Int64 // submissions that fell past their first choice
+	spilled   atomic.Int64 // submissions diverted off a healthy owner by load
+
+	throttledRate     atomic.Int64 // 429s from the per-client token bucket
+	throttledInflight atomic.Int64 // 429s from the per-client in-flight cap
 }
 
-// New builds a gateway over cfg.Backends and starts its health prober.
-// Backends start healthy (optimistic) so the gateway serves immediately;
-// the first probe round corrects within ProbeInterval.
+// New builds a gateway over cfg.Backends, performs one synchronous probe
+// round to discover backend names (bounded by ProbeTimeout), and starts
+// the background prober. Backends that answer the first probe start
+// healthy and named; the rest start ejected and join the moment a probe
+// reaches them.
 func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("cluster: no backends configured")
@@ -102,6 +165,9 @@ func New(cfg Config) (*Gateway, error) {
 		probec:        &http.Client{Timeout: cfg.ProbeTimeout},
 		probeInterval: cfg.ProbeInterval,
 		failAfter:     cfg.FailAfter,
+		spillDepth:    cfg.SpillQueueDepth,
+		byName:        map[string]*backend{},
+		admit:         newAdmission(cfg.SubmitRate, cfg.SubmitBurst, cfg.MaxInflightPerClient),
 		started:       time.Now(),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -116,10 +182,13 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("cluster: duplicate backend %s", u)
 		}
 		seen[u] = true
-		b := &backend{index: i, name: fmt.Sprintf("b%d", i), url: u}
-		b.healthy.Store(true)
+		b := &backend{index: i, fallback: fmt.Sprintf("b%d", i), url: u}
 		g.backends = append(g.backends, b)
 	}
+	// Synchronous first round: names (and initial health) are known
+	// before the gateway serves, so the very first submission routes by
+	// name and can be acked with a name-bearing id.
+	g.probeAll()
 	go g.probeLoop()
 	return g, nil
 }
@@ -138,7 +207,8 @@ func (g *Gateway) Close() {
 // Handler returns the gateway's HTTP API — the episimd surface, served
 // for the whole fleet:
 //
-//	POST   /v1/sweeps             route by placement content key, 202 + {id}
+//	POST   /v1/sweeps             route by placement content key (load-
+//	                              aware), 202 + {id}; 429 when throttled
 //	GET    /v1/sweeps             merged job list across backends
 //	GET    /v1/sweeps/{id}        proxied to the owning backend
 //	GET    /v1/sweeps/{id}/result verbatim bytes from the owning backend
@@ -164,31 +234,128 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
-// gatewayID embeds the owning backend in a job id: "b0-sw-000001".
+// identity is the backend's routing name: the name its daemon reported
+// on /healthz, or the positional fallback until one is known (or when
+// the daemon is anonymous, or its name collided with another backend's).
+func (b *backend) identity() string {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	if b.name != "" {
+		return b.name
+	}
+	return b.fallback
+}
+
+// registerName adopts a backend's /healthz-reported name as its routing
+// identity. Empty, malformed, and colliding names are refused (with a
+// log line — both are operator errors worth seeing), keeping whatever
+// identity the backend already routes under; a valid changed name
+// re-registers, which orphans ids issued under the old one.
+func (g *Gateway) registerName(b *backend, name string) {
+	name = strings.TrimSpace(name)
+	// An empty name is no information, not a rename: a proxy's JSON
+	// error body parses to Instance "" while the daemon restarts, and
+	// un-registering the discovered name on it would orphan every
+	// outstanding id issued under that name.
+	if name == "" {
+		return
+	}
+	b.probeMu.Lock()
+	prev := b.name
+	b.probeMu.Unlock()
+	keeping := b.fallback // what this backend keeps using if name is refused
+	if prev != "" {
+		keeping = prev
+	}
+	// refuse logs a refusal once per distinct refused name — the prober
+	// re-reports a persistent misconfiguration every round, and 43k
+	// identical lines a day would drown the eject/recover signal.
+	refuse := func(format string, args ...any) {
+		b.probeMu.Lock()
+		repeat := b.lastRefused == name
+		b.lastRefused = name
+		b.probeMu.Unlock()
+		if !repeat {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	// The shared validator also refuses the whole "b<number>" shape —
+	// positional identities are the gateway's, and accepting one (even a
+	// backend's own current slot) would make its ids resolve by position
+	// after the next list reorder.
+	if err := client.ValidateInstanceName(name); err != nil {
+		refuse("episim-gw: backend %s reports unusable name: %v; keeping %s\n",
+			b.url, err, keeping)
+		return
+	}
+	if name == prev {
+		return
+	}
+	g.nameMu.Lock()
+	defer g.nameMu.Unlock()
+	if other, taken := g.byName[name]; taken && other != b {
+		refuse("episim-gw: backend %s reports name %q already claimed by %s; keeping %s\n",
+			b.url, name, other.url, keeping)
+		return
+	}
+	g.byName[name] = b
+	if prev != "" && g.byName[prev] == b {
+		delete(g.byName, prev)
+		fmt.Fprintf(os.Stderr, "episim-gw: backend %s renamed %q -> %q; ids issued under the old name no longer resolve\n",
+			b.url, prev, name)
+	}
+	b.probeMu.Lock()
+	b.name = name
+	b.probeMu.Unlock()
+}
+
+// gatewayID embeds the owning backend's identity in a job id:
+// "node-0-sw-000001".
 func (b *backend) gatewayID(backendID string) string {
-	return b.name + "-" + backendID
+	return b.identity() + "-" + backendID
 }
 
 // resolveID splits a gateway job id back into its backend and the
-// backend-local id. Unparseable or out-of-range ids are simply unknown.
+// backend-local id. The backend-local part always starts with "sw-", so
+// the name is everything before the last "-sw-" — names may themselves
+// contain dashes. Ids issued under a positional fallback identity
+// ("b0-sw-000001", including every id from before this gateway learned
+// names) resolve by position when no backend claims the name.
 func (g *Gateway) resolveID(id string) (*backend, string, bool) {
-	rest, ok := strings.CutPrefix(id, "b")
-	if !ok {
+	i := strings.LastIndex(id, "-sw-")
+	if i <= 0 {
 		return nil, "", false
 	}
-	idx, local, ok := strings.Cut(rest, "-")
-	if !ok {
+	name, local := id[:i], id[i+1:]
+	if len(local) <= len("sw-") {
 		return nil, "", false
 	}
-	n, err := strconv.Atoi(idx)
-	if err != nil || n < 0 || n >= len(g.backends) || local == "" {
+	g.nameMu.RLock()
+	b, ok := g.byName[name]
+	g.nameMu.RUnlock()
+	if ok {
+		return b, local, true
+	}
+	// Positional fallback: exactly the shape ValidateInstanceName
+	// reserves (shared predicate, so a registered name can never
+	// double-parse as a position — Atoi alone would accept "b+1").
+	if !client.IsPositionalIdentity(name) {
+		return nil, "", false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n >= len(g.backends) {
 		return nil, "", false
 	}
 	return g.backends[n], local, true
 }
 
-// withBackend resolves the {id} path value before invoking h.
-func (g *Gateway) withBackend(h func(http.ResponseWriter, *http.Request, *backend, string)) http.HandlerFunc {
+// withBackend resolves the {id} path value before invoking h. The
+// prefix handed to h is the identity part of the id the CLIENT
+// presented — proxied replies rebuild ids under it, so an id issued
+// before the gateway learned the backend's name ("b0-sw-000001") keeps
+// reading back exactly as issued even after discovery renames the
+// backend's current identity.
+func (g *Gateway) withBackend(h func(http.ResponseWriter, *http.Request, *backend, string, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		b, local, ok := g.resolveID(id)
@@ -196,7 +363,7 @@ func (g *Gateway) withBackend(h func(http.ResponseWriter, *http.Request, *backen
 			writeError(w, http.StatusNotFound, "unknown sweep %q", id)
 			return
 		}
-		h(w, r, b, local)
+		h(w, r, b, id[:strings.LastIndex(id, "-sw-")], local)
 	}
 }
 
@@ -212,15 +379,17 @@ func (g *Gateway) healthyCount() int {
 }
 
 // rankFor orders backends by HRW preference for key, healthy ones
-// first. Unhealthy backends stay in the list (after every healthy one,
-// still in HRW order) as a last resort: if the prober is wrong or the
-// whole fleet is flapping, trying beats refusing.
+// first. The hash input is each backend's *identity* (its name), not its
+// URL: a renamed list order or a backend moved to a new address keeps
+// every key's owner. Unhealthy backends stay in the list (after every
+// healthy one, still in HRW order) as a last resort: if the prober is
+// wrong or the whole fleet is flapping, trying beats refusing.
 func (g *Gateway) rankFor(key string) []*backend {
-	urls := make([]string, len(g.backends))
+	ids := make([]string, len(g.backends))
 	for i, b := range g.backends {
-		urls[i] = b.url
+		ids[i] = b.identity()
 	}
-	order := rankNodes(key, urls)
+	order := rankNodes(key, ids)
 	out := make([]*backend, 0, len(order))
 	for _, i := range order {
 		if g.backends[i].healthy.Load() {
@@ -236,17 +405,28 @@ func (g *Gateway) rankFor(key string) []*backend {
 }
 
 // handleHealthz reports gateway readiness: ready while at least one
-// backend is.
+// backend is, with per-backend identity so operators can see the names
+// the fleet routes by.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	healthy := g.healthyCount()
 	status, code := "ok", http.StatusOK
 	if healthy == 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
+	type bstat struct {
+		Name    string `json:"name"`
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	}
+	bs := make([]bstat, len(g.backends))
+	for i, b := range g.backends {
+		bs[i] = bstat{Name: b.identity(), URL: b.url, Healthy: b.healthy.Load()}
+	}
 	writeJSON(w, code, map[string]any{
 		"status":           status,
 		"backends_total":   len(g.backends),
 		"backends_healthy": healthy,
+		"backends":         bs,
 		"uptime_sec":       time.Since(g.started).Seconds(),
 	})
 }

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	episim "repro"
+)
+
+// ownerName resolves a key's HRW owner to its backend *name*, the unit
+// the named-identity gateway actually routes on.
+func ownerName(key string, names []string) string {
+	return names[rankNodes(key, names)[0]]
+}
+
+// TestDominantPlacementKeyEmptyGrid: a spec with no cells must yield an
+// empty key, not panic — the gateway still routes it (every backend
+// ranks for ""), and the backend rejects it with a parse error.
+func TestDominantPlacementKeyEmptyGrid(t *testing.T) {
+	if k := DominantPlacementKey(&episim.SweepSpec{}); k != "" {
+		t.Fatalf("empty grid key = %q, want \"\"", k)
+	}
+}
+
+// TestDominantPlacementKeyAllDistinct: when every cell has a distinct
+// placement key, there is no majority — the tie goes to grid order, so
+// the FIRST placement's key wins, deterministically.
+func TestDominantPlacementKeyAllDistinct(t *testing.T) {
+	s := testSpec()
+	s.Placements = []episim.SweepPlacement{
+		{Strategy: "RR", Ranks: 2},
+		{Strategy: "RR", Ranks: 4},
+		{Strategy: "GP", Ranks: 2},
+	}
+	s.Normalize()
+	key := DominantPlacementKey(s)
+	cells := s.Cells()
+	firstKey := cells[0].Placement.Key(cells[0].Population.Key(s.Seed))
+	if key != firstKey {
+		t.Fatalf("all-distinct key = %q, want grid-first %q", key, firstKey)
+	}
+}
+
+// TestDominantPlacementKeyMajorityWins: a placement key covering more
+// cells than any other must win even when it is not first in grid order.
+func TestDominantPlacementKeyMajorityWins(t *testing.T) {
+	s := testSpec()
+	// RR-2 appears twice (identical content key), GP-2 once: RR-2 covers
+	// 2× the cells and must beat the grid-first GP-2.
+	s.Placements = []episim.SweepPlacement{
+		{Strategy: "GP", Ranks: 2},
+		{Strategy: "RR", Ranks: 2},
+		{Strategy: "RR", Ranks: 2},
+	}
+	s.Normalize()
+	key := DominantPlacementKey(s)
+	cells := s.Cells()
+	rrKey := cells[1].Placement.Key(cells[1].Population.Key(s.Seed))
+	if key != rrKey {
+		t.Fatalf("majority key = %q, want RR key %q", key, rrKey)
+	}
+}
+
+// TestDominantPlacementKeyTieBreak: equal coverage ties go to grid
+// order, and the choice is stable across calls.
+func TestDominantPlacementKeyTieBreak(t *testing.T) {
+	s := testSpec()
+	s.Placements = []episim.SweepPlacement{
+		{Strategy: "GP", Ranks: 2},
+		{Strategy: "RR", Ranks: 2},
+	}
+	s.Scenarios = []episim.SweepScenario{{Name: "baseline"}, {Name: "late"}}
+	s.Normalize()
+	cells := s.Cells()
+	want := cells[0].Placement.Key(cells[0].Population.Key(s.Seed))
+	for i := 0; i < 3; i++ {
+		if k := DominantPlacementKey(s); k != want {
+			t.Fatalf("tie-break call %d = %q, want grid-first %q", i, k, want)
+		}
+	}
+}
+
+// TestHRWNamedMinimalDisruption: with identity hanging off names, adding
+// or removing a NAMED backend must only move the keys the change itself
+// accounts for — every other key keeps its named owner. This is the
+// property that lets a fleet grow without invalidating its caches.
+func TestHRWNamedMinimalDisruption(t *testing.T) {
+	base := []string{"alpha", "beta", "gamma"}
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pop=town-%d | strategy=GP ranks=16", i)
+	}
+
+	// Adding a named backend: keys either keep their owner or move to
+	// the newcomer — never between survivors.
+	grown := append(append([]string{}, base...), "delta")
+	moved := 0
+	for _, k := range keys {
+		before, after := ownerName(k, base), ownerName(k, grown)
+		if before != after {
+			if after != "delta" {
+				t.Fatalf("key %q moved %s→%s when delta joined (must only move TO delta)", k, before, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved == len(keys) {
+		t.Fatalf("degenerate rebalance onto delta: %d/%d keys moved", moved, len(keys))
+	}
+
+	// Removing a named backend: only its keys move.
+	shrunk := []string{"alpha", "gamma"} // beta leaves
+	for _, k := range keys {
+		before, after := ownerName(k, base), ownerName(k, shrunk)
+		if before != "beta" && after != before {
+			t.Fatalf("key %q moved %s→%s when beta (unrelated) left", k, before, after)
+		}
+	}
+
+	// Reordering the list: owner invariant for every key — HRW scores
+	// depend only on (key, name), never on list position.
+	reordered := []string{"gamma", "alpha", "beta"}
+	for _, k := range keys {
+		if a, b := ownerName(k, base), ownerName(k, reordered); a != b {
+			t.Fatalf("key %q owner changed %s→%s on pure reorder", k, a, b)
+		}
+	}
+}

@@ -2,65 +2,125 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
+
+	"repro/client"
 )
 
+// probeAll probes every backend concurrently and waits for the round to
+// finish. New() calls it synchronously so names and initial health are
+// known before the gateway serves; probeLoop repeats it on a ticker.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
 // probeLoop polls every backend's /healthz until the gateway closes.
-// The first round runs immediately so a backend that was down at boot is
-// ejected within one probe, not one interval.
+// (The first round already ran synchronously in New.)
 func (g *Gateway) probeLoop() {
 	defer close(g.done)
 	t := time.NewTicker(g.probeInterval)
 	defer t.Stop()
 	for {
-		for _, b := range g.backends {
-			g.probe(b)
-		}
 		select {
 		case <-t.C:
 		case <-g.stop:
 			return
 		}
+		g.probeAll()
 	}
 }
 
-// probe checks one backend. Any 2xx /healthz reply is healthy — one
-// success re-admits an ejected backend instantly, while ejection waits
-// for failAfter consecutive failures so a single slow probe doesn't
-// shed a healthy backend's cache-affine keys.
+// probe checks one backend. Any parsed /healthz reply teaches the
+// gateway the backend's name and queue depth — even a 503 "degraded"
+// reply names its sender, so ids issued to it keep resolving. A 2xx
+// reply is healthy: one success re-admits an ejected backend instantly,
+// while ejection waits for failAfter consecutive failures so a single
+// slow probe doesn't shed a healthy backend's cache-affine keys.
+//
+// On boot (before the first successful probe) a backend is unhealthy:
+// the synchronous first round in New() decides real initial health
+// before the gateway serves, so there is no optimistic window in which
+// submissions are routed blind.
 func (g *Gateway) probe(b *backend) {
-	err := g.probeOnce(b)
+	h, err := g.probeOnce(b)
+	if h != nil {
+		g.registerName(b, h.Instance)
+	}
+	label := b.identity()
 	b.probeMu.Lock()
 	defer b.probeMu.Unlock()
 	if err == nil {
 		b.consecFails = 0
 		b.lastErr = ""
+		b.probedDepth = h.QueueDepth
+		b.sinceProbe = 0
+		b.unhealthySince = time.Time{}
 		if !b.healthy.Swap(true) {
-			fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) healthy\n", b.name, b.url)
+			fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) healthy\n", label, b.url)
 		}
 		return
 	}
 	b.consecFails++
 	b.lastErr = err.Error()
 	if b.consecFails >= g.failAfter && b.healthy.Swap(false) {
-		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", b.name, b.url, err)
+		b.unhealthySince = time.Now()
+		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", label, b.url, err)
 	}
 }
 
-func (g *Gateway) probeOnce(b *backend) error {
+// probeOnce fetches and parses one /healthz reply. The parsed reply is
+// returned even on a non-2xx status (a degraded daemon still reports its
+// identity); the error says whether the backend counts as healthy.
+func (g *Gateway) probeOnce(b *backend) (*client.HealthReply, error) {
 	resp, err := g.probec.Get(b.url + "/healthz")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var h client.HealthReply
+	hp := &h
+	if json.Unmarshal(raw, &h) != nil {
+		hp = nil // not an episimd healthz body; nothing to learn from it
 	}
-	return nil
+	if resp.StatusCode >= 300 {
+		return hp, fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	if hp == nil {
+		return nil, fmt.Errorf("healthz: unparsable reply")
+	}
+	return hp, nil
+}
+
+// queueDepthEstimate is the gateway's current view of the backend's
+// queue: the last probed depth plus submissions this gateway routed
+// there since — so a burst between probes is visible to the spill
+// decision immediately, not one probe interval late.
+func (b *backend) queueDepthEstimate() int {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	return b.probedDepth + b.sinceProbe
+}
+
+// noteRouted records an accepted submission in the depth estimate; the
+// next successful probe replaces the estimate with ground truth.
+func (b *backend) noteRouted() {
+	b.probeMu.Lock()
+	b.sinceProbe++
+	b.probeMu.Unlock()
 }
 
 // markFailed records a proxy-time transport failure: the backend is
@@ -73,8 +133,20 @@ func (g *Gateway) markFailed(b *backend, err error) {
 	b.consecFails = g.failAfter
 	b.lastErr = err.Error()
 	if b.healthy.Swap(false) {
-		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", b.name, b.url, err)
+		b.unhealthySince = time.Now()
+		fmt.Fprintf(os.Stderr, "episim-gw: backend %s ejected: %v\n", b.url, err)
 	}
+}
+
+// unreachableFor reports how long the backend has been ejected (0 while
+// healthy or never ejected).
+func (b *backend) unreachableFor() time.Duration {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	if b.unhealthySince.IsZero() {
+		return 0
+	}
+	return time.Since(b.unhealthySince)
 }
 
 // reportFailure is markFailed behind a blame check: callerCtx is the

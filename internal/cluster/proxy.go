@@ -62,17 +62,91 @@ func relay(w http.ResponseWriter, resp *http.Response, b *backend) {
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
-	w.Header().Set(backendHeader, b.name)
+	w.Header().Set(backendHeader, b.identity())
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 }
 
-// handleSubmit is the routing decision: parse the spec (rejecting bad
-// submissions at the edge), reduce it to its dominant placement content
-// key, and walk the HRW preference order until a backend takes the job.
-// The original body bytes are forwarded, so the backend parses exactly
-// what the client sent.
+// pickOrder decides the submission's attempt order. It starts from the
+// HRW preference order for the key (healthy backends first) and, when
+// load-aware spill is enabled, diverts off a saturated owner: if the
+// owner's estimated queue depth exceeds the spill bound, the first
+// healthy backend in HRW order whose queue is within the bound moves to
+// the front — one cold placement build bought for bounded queueing
+// delay. When every healthy backend is past the bound the owner keeps
+// the job: if the whole fleet is saturated, cache affinity is the only
+// lever left. The returned affine backend is the cache-affine HRW owner
+// (order[0] unless a spill reordered it away); the spilled flag marks a
+// diverted first choice.
+func (g *Gateway) pickOrder(key string) (order []*backend, affine *backend, spilled bool) {
+	order = g.rankFor(key)
+	affine = order[0]
+	if g.spillDepth <= 0 {
+		return order, affine, false
+	}
+	var healthy []*backend
+	for _, b := range order {
+		if b.healthy.Load() {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) < 2 || healthy[0].queueDepthEstimate() <= g.spillDepth {
+		return order, affine, false
+	}
+	for _, c := range healthy[1:] {
+		if c.queueDepthEstimate() <= g.spillDepth {
+			reordered := make([]*backend, 0, len(order))
+			reordered = append(reordered, c)
+			for _, b := range order {
+				if b != c {
+					reordered = append(reordered, b)
+				}
+			}
+			return reordered, affine, true
+		}
+	}
+	return order, affine, false
+}
+
+// handleSubmit is the admission + routing decision: throttle the client,
+// parse the spec (rejecting bad submissions at the edge), reduce it to
+// its dominant placement content key, and walk the load-aware attempt
+// order until a backend takes the job. The original body bytes are
+// forwarded, so the backend parses exactly what the client sent.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission first — it needs only headers and the remote address, so
+	// a throttled client is refused before the gateway spends a body
+	// read (up to 32MB) or a spec parse on it.
+	var cKey string
+	if g.admit.enabled() {
+		cKey = clientKey(r)
+		if wait, ok := g.admit.takeToken(cKey); !ok {
+			g.throttledRate.Add(1)
+			writeThrottled(w, cKey, "submission-rate", wait)
+			return
+		}
+		if !g.admit.tryReserve(cKey) {
+			// At the in-flight cap: reconcile the ledger against the
+			// owning backends before rejecting — finished jobs the
+			// gateway never happened to observe must not count.
+			g.verifyInflight(r.Context(), cKey)
+			if !g.admit.tryReserve(cKey) {
+				// Nothing was enqueued: give the rate token back, or
+				// cap rejections would drain the bucket and resurface
+				// as rate 429s once a slot finally frees.
+				g.admit.refundToken(cKey)
+				g.throttledInflight.Add(1)
+				writeThrottled(w, cKey, "in-flight", time.Second)
+				return
+			}
+		}
+		defer func() {
+			if cKey != "" { // still reserved: no backend accepted
+				g.admit.release(cKey)
+			}
+		}()
+	}
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -84,13 +158,14 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := DominantPlacementKey(spec)
+	order, affine, spillFirst := g.pickOrder(key)
 
 	var lastErr error
 	// attempt posts to one backend under its own timeout budget (a hung
 	// first choice must not eat the fallbacks' time). It reports done
 	// when a response was relayed to the client and retryable when the
-	// next backend in HRW order may safely be tried.
-	attempt := func(b *backend, firstChoice bool) (done, retryable bool) {
+	// next backend in the attempt order may safely be tried.
+	attempt := func(b *backend, first bool) (done, retryable bool) {
 		ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
 		defer cancel()
 		resp, err := g.forward(ctx, b, http.MethodPost, "/v1/sweeps", body, r.Header)
@@ -108,7 +183,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if resp.StatusCode >= 500 {
 			// The backend answered but refused: alive (no ejection), and
 			// nothing was enqueued, so the next backend is safe to try.
-			lastErr = fmt.Errorf("backend %s: HTTP %d", b.name, resp.StatusCode)
+			lastErr = fmt.Errorf("backend %s: HTTP %d", b.identity(), resp.StatusCode)
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			return false, true
@@ -120,20 +195,31 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		var ack client.SubmitReply
 		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-			writeError(w, http.StatusBadGateway, "backend %s: bad submit reply: %v", b.name, err)
+			writeError(w, http.StatusBadGateway, "backend %s: bad submit reply: %v", b.identity(), err)
 			return true, false
 		}
 		ack.ID = b.gatewayID(ack.ID)
 		b.routed.Add(1)
+		b.noteRouted()
 		g.submitted.Add(1)
-		if !firstChoice {
-			g.rerouted.Add(1) // accepted, but not by the cache-affine choice
+		switch {
+		case first && spillFirst:
+			g.spilled.Add(1) // deliberately diverted off a saturated owner
+		case b != affine:
+			g.rerouted.Add(1) // accepted, but not by the cache-affine owner
+			// (a spill target that refused and fell BACK to the affine
+			// owner lands in neither counter: the job went exactly where
+			// cache locality wanted it.)
 		}
-		w.Header().Set(backendHeader, b.name)
+		if cKey != "" {
+			g.admit.commit(cKey, ack.ID)
+			cKey = "" // reservation consumed; the deferred release must not fire
+		}
+		w.Header().Set(backendHeader, b.identity())
 		writeJSON(w, http.StatusAccepted, ack)
 		return true, false
 	}
-	for i, b := range g.rankFor(key) {
+	for i, b := range order {
 		done, retryable := attempt(b, i == 0)
 		if done {
 			return
@@ -155,24 +241,28 @@ func isDialError(err error) bool {
 
 // proxyStatus forwards a status fetch and re-issues the job id in
 // gateway form.
-func (g *Gateway) proxyStatus(w http.ResponseWriter, r *http.Request, b *backend, local string) {
-	g.proxyJobJSON(w, r, b, http.MethodGet, "/v1/sweeps/"+local)
+func (g *Gateway) proxyStatus(w http.ResponseWriter, r *http.Request, b *backend, prefix, local string) {
+	g.proxyJobJSON(w, r, b, prefix, http.MethodGet, "/v1/sweeps/"+local)
 }
 
 // proxyCancel forwards a cancel; the reply is a job status too.
-func (g *Gateway) proxyCancel(w http.ResponseWriter, r *http.Request, b *backend, local string) {
-	g.proxyJobJSON(w, r, b, http.MethodPost, "/v1/sweeps/"+local+"/cancel")
+func (g *Gateway) proxyCancel(w http.ResponseWriter, r *http.Request, b *backend, prefix, local string) {
+	g.proxyJobJSON(w, r, b, prefix, http.MethodPost, "/v1/sweeps/"+local+"/cancel")
 }
 
 // proxyJobJSON forwards a request whose 2xx reply is one JobStatus,
-// rewriting its id; everything else relays verbatim.
-func (g *Gateway) proxyJobJSON(w http.ResponseWriter, r *http.Request, b *backend, method, path string) {
+// rebuilding its id under the prefix the client presented (NOT the
+// backend's current identity — a job submitted under a positional
+// fallback id must keep answering to it after name discovery).
+// Terminal statuses feed the admission ledger: a proxied reply proving
+// a job finished frees its client's in-flight slot with no extra RPC.
+func (g *Gateway) proxyJobJSON(w http.ResponseWriter, r *http.Request, b *backend, prefix, method, path string) {
 	ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
 	defer cancel()
 	resp, err := g.forward(ctx, b, method, path, nil, r.Header)
 	if err != nil {
 		g.reportFailure(r.Context(), b, err)
-		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.identity(), err)
 		return
 	}
 	defer resp.Body.Close()
@@ -182,11 +272,14 @@ func (g *Gateway) proxyJobJSON(w http.ResponseWriter, r *http.Request, b *backen
 	}
 	var st client.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		writeError(w, http.StatusBadGateway, "backend %s: bad status reply: %v", b.name, err)
+		writeError(w, http.StatusBadGateway, "backend %s: bad status reply: %v", b.identity(), err)
 		return
 	}
-	st.ID = b.gatewayID(st.ID)
-	w.Header().Set(backendHeader, b.name)
+	st.ID = prefix + "-" + st.ID
+	if st.State.Terminal() {
+		g.admit.observeTerminal(st.ID)
+	}
+	w.Header().Set(backendHeader, b.identity())
 	writeJSON(w, resp.StatusCode, st)
 }
 
@@ -194,15 +287,19 @@ func (g *Gateway) proxyJobJSON(w http.ResponseWriter, r *http.Request, b *backen
 // JSON carries no job id, so what the client reads through the gateway
 // is byte-identical to reading the backend directly — the durability
 // guarantee (canonical bytes across restarts) extends through the
-// routing tier.
-func (g *Gateway) proxyResult(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+// routing tier. A 200 proves the sweep finished, which also settles the
+// admission ledger.
+func (g *Gateway) proxyResult(w http.ResponseWriter, r *http.Request, b *backend, prefix, local string) {
 	resp, err := g.forward(r.Context(), b, http.MethodGet, "/v1/sweeps/"+local+"/result", nil, r.Header)
 	if err != nil {
 		g.reportFailure(r.Context(), b, err)
-		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.identity(), err)
 		return
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusGone {
+		g.admit.observeTerminal(prefix + "-" + local)
+	}
 	relay(w, resp, b)
 }
 
@@ -220,7 +317,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	for i, b := range g.backends {
 		if !b.healthy.Load() {
-			parts[i].err = fmt.Errorf("backend %s unhealthy; skipped", b.name)
+			parts[i].err = fmt.Errorf("backend %s unhealthy; skipped", b.identity())
 			continue
 		}
 		wg.Add(1)
@@ -255,7 +352,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, p := range parts {
 		merged = append(merged, p.jobs...)
 		if p.err != nil {
-			missing = append(missing, g.backends[i].name)
+			missing = append(missing, g.backends[i].identity())
 		}
 	}
 	sort.Slice(merged, func(a, b int) bool {
@@ -278,7 +375,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 // byte-for-byte. Only terminal events (which embed the job's status,
 // including its id) are re-encoded so the id a subscriber sees is the
 // one the gateway issued.
-func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend, local string) {
+func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend, prefix, local string) {
 	path := "/v1/sweeps/" + local + "/events"
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
@@ -286,7 +383,7 @@ func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend
 	resp, err := g.forward(r.Context(), b, http.MethodGet, path, nil, r.Header)
 	if err != nil {
 		g.reportFailure(r.Context(), b, err)
-		writeError(w, http.StatusBadGateway, "backend %s: %v", b.name, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.identity(), err)
 		return
 	}
 	defer resp.Body.Close()
@@ -308,7 +405,7 @@ func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend
 		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("Connection", "keep-alive")
 	}
-	w.Header().Set(backendHeader, b.name)
+	w.Header().Set(backendHeader, b.identity())
 	w.WriteHeader(http.StatusOK)
 
 	sc := bufio.NewScanner(resp.Body)
@@ -317,13 +414,13 @@ func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend
 		line := sc.Bytes()
 		switch {
 		case ndjson && len(line) > 0:
-			line = g.rewriteEventLine(line, b)
+			line = g.rewriteEventLine(line, prefix)
 		case !ndjson && bytes.HasPrefix(line, []byte("data:")):
 			payload := bytes.TrimPrefix(bytes.TrimPrefix(line, []byte("data:")), []byte(" "))
 			// Reframing an unchanged payload reproduces the backend's
 			// exact "data: <json>" line, so this is byte-transparent for
 			// cell events.
-			line = append([]byte("data: "), g.rewriteEventLine(payload, b)...)
+			line = append([]byte("data: "), g.rewriteEventLine(payload, prefix)...)
 		}
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			return // subscriber gone; it reconnects and replays
@@ -337,9 +434,11 @@ func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend
 }
 
 // rewriteEventLine re-issues the job id inside a terminal event's
-// payload. Cell events — the hot path and the bulk of the bytes — carry
-// no job and pass through untouched (returned slice is the input).
-func (g *Gateway) rewriteEventLine(line []byte, b *backend) []byte {
+// payload under the client-presented prefix, and settles the admission
+// ledger (a terminal event proves the job finished). Cell events — the
+// hot path and the bulk of the bytes — carry no job and pass through
+// untouched (returned slice is the input).
+func (g *Gateway) rewriteEventLine(line []byte, prefix string) []byte {
 	if !bytes.Contains(line, []byte(`"job"`)) {
 		return line
 	}
@@ -347,7 +446,8 @@ func (g *Gateway) rewriteEventLine(line []byte, b *backend) []byte {
 	if json.Unmarshal(line, &ev) != nil || ev.Job == nil {
 		return line
 	}
-	ev.Job.ID = b.gatewayID(ev.Job.ID)
+	ev.Job.ID = prefix + "-" + ev.Job.ID
+	g.admit.observeTerminal(ev.Job.ID)
 	out, err := json.Marshal(ev)
 	if err != nil {
 		return line

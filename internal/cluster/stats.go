@@ -19,11 +19,23 @@ type GatewayStats struct {
 	UptimeSec       float64 `json:"uptime_sec"`
 	BackendsTotal   int     `json:"backends_total"`
 	BackendsHealthy int     `json:"backends_healthy"`
+	// FleetHealthy is 1 while at least one backend is healthy, 0 when the
+	// whole fleet is unreachable — in which case the aggregate stats below
+	// are last-known snapshots, not live reads.
+	FleetHealthy int `json:"fleet_healthy"`
 	// Submitted counts accepted submissions; Rerouted the subset that
 	// fell past their first-choice (cache-affine) backend — a high ratio
-	// means churn is costing cache locality.
+	// means churn is costing cache locality. Spilled counts submissions
+	// deliberately diverted off a healthy-but-saturated owner by the
+	// load-aware spill bound.
 	Submitted int64 `json:"submitted"`
 	Rerouted  int64 `json:"rerouted"`
+	Spilled   int64 `json:"spilled"`
+	// Throttled* count 429s from gateway admission control, by reason.
+	ThrottledRate     int64 `json:"throttled_rate"`
+	ThrottledInflight int64 `json:"throttled_inflight"`
+	// TrackedClients is the number of clients with live admission state.
+	TrackedClients int `json:"tracked_clients,omitempty"`
 }
 
 // BackendStatus is one backend's health and, when reachable, its own
@@ -32,10 +44,17 @@ type BackendStatus struct {
 	Name    string `json:"name"`
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
-	// Routed counts submissions this gateway sent here.
-	Routed    int64              `json:"routed"`
-	LastError string             `json:"last_error,omitempty"`
-	Stats     *client.StatsReply `json:"stats,omitempty"`
+	// Routed counts submissions this gateway sent here; QueueDepth is
+	// the gateway's current estimate (last probe + routed since), the
+	// number the spill decision reads.
+	Routed     int64              `json:"routed"`
+	QueueDepth int                `json:"queue_depth"`
+	LastError  string             `json:"last_error,omitempty"`
+	Stats      *client.StatsReply `json:"stats,omitempty"`
+	// StatsStale marks Stats as the last snapshot taken before the
+	// backend became unreachable, kept so fleet aggregates degrade
+	// gracefully instead of zeroing out.
+	StatsStale bool `json:"stats_stale,omitempty"`
 	// StatsError is set when the stats fetch itself failed (the backend
 	// may still be serving sweeps).
 	StatsError string `json:"stats_error,omitempty"`
@@ -58,31 +77,51 @@ const statsTimeout = 5 * time.Second
 // collectStats fans /v1/stats out to every healthy backend and
 // aggregates. Ejected backends are not dialed — a black-holed host
 // would stall every scrape for the full timeout exactly while its
-// health is most interesting; its entry reports unhealthy instead.
+// health is most interesting — but their last successful snapshot still
+// folds into the aggregate (marked stale), so a fleet-wide outage
+// reports the last-known state under fleet_healthy=0 instead of
+// collapsing every counter to zero.
 func (g *Gateway) collectStats(ctx context.Context) StatsReply {
 	ctx, cancel := context.WithTimeout(ctx, statsTimeout)
 	defer cancel()
+	healthy := g.healthyCount()
+	fleetHealthy := 0
+	if healthy > 0 {
+		fleetHealthy = 1
+	}
 	out := StatsReply{
 		Gateway: GatewayStats{
-			UptimeSec:       time.Since(g.started).Seconds(),
-			BackendsTotal:   len(g.backends),
-			BackendsHealthy: g.healthyCount(),
-			Submitted:       g.submitted.Load(),
-			Rerouted:        g.rerouted.Load(),
+			UptimeSec:         time.Since(g.started).Seconds(),
+			BackendsTotal:     len(g.backends),
+			BackendsHealthy:   healthy,
+			FleetHealthy:      fleetHealthy,
+			Submitted:         g.submitted.Load(),
+			Rerouted:          g.rerouted.Load(),
+			Spilled:           g.spilled.Load(),
+			ThrottledRate:     g.throttledRate.Load(),
+			ThrottledInflight: g.throttledInflight.Load(),
+			TrackedClients:    g.admit.trackedClients(),
 		},
 		Backends: make([]BackendStatus, len(g.backends)),
 	}
 	var wg sync.WaitGroup
 	for i, b := range g.backends {
 		out.Backends[i] = BackendStatus{
-			Name:      b.name,
-			URL:       b.url,
-			Healthy:   b.healthy.Load(),
-			Routed:    b.routed.Load(),
-			LastError: b.lastError(),
+			Name:       b.identity(),
+			URL:        b.url,
+			Healthy:    b.healthy.Load(),
+			Routed:     b.routed.Load(),
+			QueueDepth: b.queueDepthEstimate(),
+			LastError:  b.lastError(),
 		}
 		if !out.Backends[i].Healthy {
-			out.Backends[i].StatsError = "unreachable (ejected); stats omitted from aggregate"
+			if last := b.lastStats.Load(); last != nil {
+				out.Backends[i].Stats = last
+				out.Backends[i].StatsStale = true
+				out.Backends[i].StatsError = "unreachable (ejected); last-known stats shown"
+			} else {
+				out.Backends[i].StatsError = "unreachable (ejected); no stats seen yet"
+			}
 			continue
 		}
 		wg.Add(1)
@@ -91,8 +130,16 @@ func (g *Gateway) collectStats(ctx context.Context) StatsReply {
 			st, err := g.fetchStats(ctx, b)
 			if err != nil {
 				out.Backends[i].StatsError = err.Error()
+				// Healthy per the prober but the fetch failed: degrade to
+				// the last snapshot rather than dropping the backend from
+				// the aggregate.
+				if last := b.lastStats.Load(); last != nil {
+					out.Backends[i].Stats = last
+					out.Backends[i].StatsStale = true
+				}
 				return
 			}
+			b.lastStats.Store(st)
 			out.Backends[i].Stats = st
 		}(i, b)
 	}
@@ -190,8 +237,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "episim_gw_uptime_seconds %g\n", st.Gateway.UptimeSec)
 	fmt.Fprintf(w, "episim_gw_backends %d\n", st.Gateway.BackendsTotal)
 	fmt.Fprintf(w, "episim_gw_backends_healthy %d\n", st.Gateway.BackendsHealthy)
+	fmt.Fprintf(w, "episim_gw_fleet_healthy %d\n", st.Gateway.FleetHealthy)
 	fmt.Fprintf(w, "episim_gw_submissions_total %d\n", st.Gateway.Submitted)
 	fmt.Fprintf(w, "episim_gw_submissions_rerouted_total %d\n", st.Gateway.Rerouted)
+	fmt.Fprintf(w, "episim_gw_spilled_total %d\n", st.Gateway.Spilled)
+	fmt.Fprintf(w, "episim_gw_throttled_total{reason=\"rate\"} %d\n", st.Gateway.ThrottledRate)
+	fmt.Fprintf(w, "episim_gw_throttled_total{reason=\"inflight\"} %d\n", st.Gateway.ThrottledInflight)
 	for _, bs := range st.Backends {
 		up := 0
 		if bs.Healthy {
@@ -199,5 +250,6 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "episim_gw_backend_up{backend=%q,url=%q} %d\n", bs.Name, bs.URL, up)
 		fmt.Fprintf(w, "episim_gw_backend_routed_total{backend=%q} %d\n", bs.Name, bs.Routed)
+		fmt.Fprintf(w, "episim_gw_backend_queue_depth{backend=%q} %d\n", bs.Name, bs.QueueDepth)
 	}
 }

@@ -19,11 +19,12 @@ type sweepRunner func(context.Context, *episim.SweepSpec, *episim.SweepOptions) 
 // slot pool and one placement cache, so total simulation parallelism
 // and memory stay bounded no matter how many requests are in flight.
 type scheduler struct {
-	store   *store
-	cache   *episim.SweepCache
-	slots   *episim.SweepSlots
-	run     sweepRunner
-	workers int
+	store     *store
+	cache     *episim.SweepCache
+	slots     *episim.SweepSlots
+	run       sweepRunner
+	workers   int
+	maxActive int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -52,6 +53,7 @@ func newScheduler(st *store, cache *episim.SweepCache, slots *episim.SweepSlots,
 	if maxActive < 1 {
 		maxActive = 2
 	}
+	s.maxActive = maxActive
 	for i := 0; i < maxActive; i++ {
 		s.wg.Add(1)
 		go s.runner()

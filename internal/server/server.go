@@ -213,6 +213,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec:    time.Since(s.started).Seconds(),
 		QueueDepth:   s.sched.queueDepth(),
 		ActiveSweeps: s.sched.activeCount(),
+		MaxActive:    s.sched.maxActive,
 	}
 	if s.cacheDir != "" {
 		h.CacheDir = s.cacheDir
