@@ -21,7 +21,13 @@ import (
 	"time"
 
 	episim "repro"
+	"repro/internal/obs"
 )
+
+// TraceHeader is the X-Episim-Trace-Id header: set it on a submission
+// to choose the sweep's trace id; gateway and daemon echo it back (and
+// generate an id when absent).
+const TraceHeader = obs.TraceHeader
 
 // JobState is the lifecycle state of a submitted sweep.
 type JobState string
@@ -58,6 +64,11 @@ type JobStatus struct {
 	// (omitempty cannot elide a zero time.Time, a pointer can).
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+
+	// TraceID correlates this job across log lines, the trace timeline
+	// and proxied hops (the X-Episim-Trace-Id header). It is stamped on
+	// the persisted job record, so it survives eviction and restarts.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SubmitReply acknowledges a submission.
@@ -65,6 +76,37 @@ type SubmitReply struct {
 	ID          string `json:"id"`
 	Cells       int    `json:"cells"`
 	Simulations int    `json:"simulations"`
+	// TraceID is the trace id in effect for this sweep: the one the
+	// client supplied via X-Episim-Trace-Id, else server-generated.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceSpan is one named, timed stage of a sweep's execution.
+type TraceSpan = obs.Span
+
+// TraceReply is the GET /v1/sweeps/{id}/trace timeline: where the wall
+// clock went between submission and completion. Spans are recorded
+// in-memory per job; a job rehydrated from disk after a restart keeps
+// its TraceID but reports no spans.
+type TraceReply struct {
+	// ID is the backend-local job id. Deliberately NOT rewritten by the
+	// gateway: the gateway relays trace replies verbatim, so the bytes
+	// fetched through it are identical to the owning backend's.
+	ID      string   `json:"id"`
+	TraceID string   `json:"trace_id,omitempty"`
+	State   JobState `json:"state"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// WallSeconds is created→finished (or →now while running) — the
+	// denominator for span coverage.
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Spans []TraceSpan `json:"spans"`
+	// SpansDropped counts spans past the per-job retention cap (huge
+	// grids); histograms still observed them.
+	SpansDropped int `json:"spans_dropped,omitempty"`
 }
 
 // Event is one message of a sweep's event stream, delivered over SSE or
@@ -106,6 +148,12 @@ type StatsReply struct {
 	PopulationStore *episim.SweepStoreStats `json:"population_store,omitempty"`
 	PlacementStore  *episim.SweepStoreStats `json:"placement_store,omitempty"`
 	ResultStore     *episim.SweepStoreStats `json:"result_store,omitempty"`
+
+	// Histograms are the daemon's latency distributions (submit, queue
+	// wait, placement build, per-replicate sim, result persist). They
+	// ride /v1/stats so a fronting gateway can merge backend histograms
+	// bucket-wise into fleet-wide distributions on its own /metrics.
+	Histograms []obs.HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // HealthReply is the daemon's /healthz readiness snapshot. A fronting
@@ -192,6 +240,12 @@ type Client struct {
 	// it; unset, the gateway falls back to the remote address, which
 	// lumps every caller behind one NAT into one quota.
 	ClientID string
+	// TraceID, when set, is sent as the X-Episim-Trace-Id header on every
+	// request: submissions adopt it as their trace id (see Trace), tying
+	// the sweep's span timeline and server log lines to the caller's own
+	// correlation id. Unset, the server mints one per submission — echoed
+	// in SubmitReply.TraceID.
+	TraceID string
 }
 
 // New builds a client for the daemon at baseURL.
@@ -217,6 +271,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	if c.ClientID != "" {
 		req.Header.Set("X-Episim-Client", c.ClientID)
+	}
+	if c.TraceID != "" {
+		req.Header.Set(TraceHeader, c.TraceID)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -361,6 +418,18 @@ func (c *Client) Result(ctx context.Context, id string) (*episim.SweepResult, er
 		return nil, err
 	}
 	return &res, nil
+}
+
+// Trace fetches a sweep's span timeline: named, timed stages (queue
+// wait, placement build, each replicate's simulation, aggregation,
+// result persist) covering the wall clock between submission and
+// completion. Available while the sweep runs (partial timeline) and
+// after it finishes; a daemon restart keeps the trace id but drops the
+// spans (they are in-memory per job).
+func (c *Client) Trace(ctx context.Context, id string) (TraceReply, error) {
+	var tr TraceReply
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/trace", nil, &tr)
+	return tr, err
 }
 
 // Stats fetches the daemon's service metrics.

@@ -32,6 +32,13 @@
 // (-max-inflight-per-client), answering 429 + Retry-After, which the
 // repro/client package honors automatically.
 //
+// Observability: trace ids (X-Episim-Trace-Id) pass through to the
+// owning backend — or are minted at the edge — and
+// GET /v1/sweeps/{id}/trace relays the owner's span timeline verbatim.
+// /metrics adds fleet-merged latency histograms plus the gateway's own
+// per-backend proxy round-trip histogram; -log-format json and
+// -pprof-addr mirror episimd's flags.
+//
 // Existing clients need no changes: point them at the gateway instead of
 // a single daemon.
 package main
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -62,6 +70,9 @@ func main() {
 		maxInflight   = flag.Int("max-inflight-per-client", 0, "cap on one client's unfinished sweeps across the fleet (0 = unlimited)")
 		submitRate    = flag.Float64("submit-rate", 0, "per-client sustained submission rate, sweeps/sec (0 = unlimited)")
 		submitBurst   = flag.Int("submit-burst", 0, "per-client submission burst size (0 = max(1, 2×submit-rate))")
+		logFormat     = flag.String("log-format", "text", "log line format: text or json (json lines carry trace ids for correlation)")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof and /debug/runtime on this address (empty = off; never expose publicly)")
 	)
 	flag.Parse()
 
@@ -75,6 +86,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "episim-gw: -backends is required (comma-separated episimd URLs)")
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episim-gw: -log-level:", err)
+		os.Exit(2)
+	}
+	log := obs.NewLogger(os.Stderr, *logFormat, level, "episim-gw")
 
 	gw, err := cluster.New(cluster.Config{
 		Backends:             urls,
@@ -85,9 +102,15 @@ func main() {
 		MaxInflightPerClient: *maxInflight,
 		SubmitRate:           *submitRate,
 		SubmitBurst:          *submitBurst,
+		Logger:               log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "episim-gw:", err)
+		os.Exit(1)
+	}
+	debugSrv, err := obs.ServeDebug(*pprofAddr, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episim-gw: -pprof-addr:", err)
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
@@ -114,6 +137,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "episim-gw: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "episim-gw: shutdown:", err)
 		}

@@ -21,6 +21,12 @@
 //	curl -N localhost:8321/v1/sweeps/sw-000001/events
 //	curl -s localhost:8321/v1/stats
 //
+// Observability: every submission carries a trace id (X-Episim-Trace-Id,
+// minted when absent) and GET /v1/sweeps/{id}/trace returns its span
+// timeline; /metrics adds latency histograms. -log-format json switches
+// to trace-correlated JSON log lines, and -pprof-addr serves
+// net/http/pprof on a separate (private!) listener.
+//
 // SIGINT/SIGTERM drain gracefully: running sweeps are canceled, open
 // event streams receive their terminal event, and the listener closes.
 package main
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -73,6 +80,9 @@ func main() {
 		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index — and, with -cache-dir, expire their disk records — after this age, e.g. 24h (0 = never)")
 		storeMax  = flag.Int64("store-max-bytes", 0, "bound the on-disk placement store: a background LRU sweep prunes least-recently-used artifacts past this size (0 = unbounded)")
 		name      = flag.String("name", defaultName(), "instance name reported by /healthz; a fronting episim-gw adopts it as this backend's routing identity and embeds it in job ids")
+		logFormat = flag.String("log-format", "text", "log line format: text or json (json lines carry trace ids for correlation)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof and /debug/runtime on this address (empty = off; never expose publicly)")
 	)
 	flag.Parse()
 
@@ -80,6 +90,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episimd: -log-level:", err)
+		os.Exit(2)
+	}
+	log := obs.NewLogger(os.Stderr, *logFormat, level, "episimd")
 
 	srv, err := server.New(server.Config{
 		Workers:       *workers,
@@ -90,9 +106,15 @@ func main() {
 		ResultTTL:     *resultTTL,
 		StoreMaxBytes: *storeMax,
 		Name:          *name,
+		Logger:        log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "episimd:", err)
+		os.Exit(1)
+	}
+	debugSrv, err := obs.ServeDebug(*pprofAddr, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "episimd: -pprof-addr:", err)
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -120,6 +142,9 @@ func main() {
 		srv.Close() // cancel running sweeps, flush terminal events
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "episimd: shutdown:", err)
 			os.Exit(1)

@@ -12,6 +12,12 @@
 //	sweep -spec sweep.json -workers 16 -out -
 //	sweep -spec sweep.json -cache-dir .episim-cache -warm   # pre-build placements
 //	sweep -spec sweep.json -cache-dir .episim-cache         # zero placement builds
+//	sweep -server http://localhost:8321 -trace sw-000001    # where the wall clock went
+//
+// -trace fetches a submitted sweep's span timeline from an episimd (or
+// episim-gw) instance and prints a per-stage summary: queue wait,
+// placement builds, per-replicate simulation, aggregation, result
+// persist — with each stage's share of the job's wall clock.
 //
 // With -cache-dir, every placement built is persisted as a checksummed,
 // content-addressed artifact; repeated runs of the same spec (any
@@ -35,10 +41,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	episim "repro"
+	"repro/client"
 )
 
 func main() {
@@ -52,6 +60,8 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent placement cache directory: placements built by any earlier run are loaded instead of rebuilt")
 		warm     = flag.Bool("warm", false, "only build and persist the spec's placements into -cache-dir (no simulation)")
 		cacheMax = flag.Int64("cache-max-bytes", 0, "after the run, prune -cache-dir's placement store to this size, least-recently-used first (0 = no pruning)")
+		server   = flag.String("server", "", "episimd or episim-gw base URL, e.g. http://localhost:8321 (used by -trace)")
+		traceJob = flag.String("trace", "", "fetch this job id's span timeline from -server, print a per-stage summary, and exit")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -61,6 +71,15 @@ func main() {
 
 	if *example {
 		if err := exampleSpec().Encode(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *traceJob != "" {
+		if *server == "" {
+			fail(fmt.Errorf("-trace requires -server"))
+		}
+		if err := printTrace(*server, *traceJob); err != nil {
 			fail(err)
 		}
 		return
@@ -205,6 +224,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells (partial aggregates emitted)")
 		os.Exit(exitCode)
 	}
+}
+
+// printTrace fetches a sweep's span timeline and prints a per-stage
+// rollup: thousands of per-replicate sim spans compress into one line
+// per stage, with each stage's share of the job's wall clock and the
+// overall fraction of wall time the recorded spans cover.
+func printTrace(baseURL, id string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tr, err := client.New(baseURL).Trace(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s  job %s  state %s  wall %.3fs\n", tr.TraceID, tr.ID, tr.State, tr.WallSeconds)
+	type rollup struct {
+		count int
+		total float64
+	}
+	var names []string
+	agg := map[string]*rollup{}
+	for _, sp := range tr.Spans {
+		r := agg[sp.Name]
+		if r == nil {
+			r = &rollup{}
+			agg[sp.Name] = r
+			names = append(names, sp.Name)
+		}
+		r.count++
+		r.total += sp.Seconds
+	}
+	for _, n := range names {
+		r := agg[n]
+		pct := 0.0
+		if tr.WallSeconds > 0 {
+			pct = 100 * r.total / tr.WallSeconds
+		}
+		fmt.Printf("  %-18s ×%-6d %10.3fs  %5.1f%% of wall\n", n, r.count, r.total, pct)
+	}
+	if tr.SpansDropped > 0 {
+		fmt.Printf("  (%d spans dropped past the per-job cap; totals above are partial)\n", tr.SpansDropped)
+	}
+	fmt.Printf("  span coverage: %.1f%% of wall clock\n", 100*spanCoverage(tr))
+	return nil
+}
+
+// spanCoverage is the fraction of the job's wall clock inside the union
+// of its recorded span intervals (stages overlap — sim spans run under
+// the run span — so intervals merge before summing).
+func spanCoverage(tr client.TraceReply) float64 {
+	if tr.WallSeconds <= 0 {
+		return 0
+	}
+	iv := make([][2]time.Time, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		if sp.End.After(sp.Start) {
+			iv = append(iv, [2]time.Time{sp.Start, sp.End})
+		}
+	}
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(a, b int) bool { return iv[a][0].Before(iv[b][0]) })
+	var covered time.Duration
+	curS, curE := iv[0][0], iv[0][1]
+	for _, p := range iv[1:] {
+		if p[0].After(curE) {
+			covered += curE.Sub(curS)
+			curS, curE = p[0], p[1]
+			continue
+		}
+		if p[1].After(curE) {
+			curE = p[1]
+		}
+	}
+	covered += curE.Sub(curS)
+	return covered.Seconds() / tr.WallSeconds
 }
 
 // exampleSpec is the template -example prints: a small but complete

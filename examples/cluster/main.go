@@ -15,7 +15,12 @@
 //  5. hardening knobs — the gateway here also runs with load-aware
 //     spill (SpillQueueDepth) and per-client admission control armed;
 //     the final stats line shows their counters (zero in this calm
-//     walkthrough — they exist to clip real bursts).
+//     walkthrough — they exist to clip real bursts);
+//  6. traced submission — the client pins a trace id (Client.TraceID →
+//     X-Episim-Trace-Id), the gateway forwards it to the owning
+//     backend, and the job's span timeline reads back through the
+//     gateway with that id and per-stage timings (the same data
+//     `sweep -server URL -trace ID` prints).
 //
 // Run with:
 //
@@ -108,6 +113,10 @@ func main() {
 	// Retry-After automatically).
 	c := client.New(gwURL)
 	c.ClientID = "example-tenant"
+	// A fixed trace id rides every request as X-Episim-Trace-Id; the
+	// gateway forwards it, the owning backend stamps it on the job, and
+	// it comes back on acks, statuses, terminal events, and log lines.
+	c.TraceID = "t-cluster-example"
 	ctx := context.Background()
 	spec := &episim.SweepSpec{
 		Populations: []episim.SweepPopulation{{State: "WY", Scale: 600}},
@@ -118,7 +127,7 @@ func main() {
 	}
 	spec.Normalize()
 
-	run := func(tag string) {
+	run := func(tag string) string {
 		ack, err := c.Submit(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
@@ -133,12 +142,30 @@ func main() {
 		}
 		fmt.Printf("%s: %s done; routed%s; fleet placement builds so far: %d\n",
 			tag, ack.ID, routed, st.PlacementCache.Builds)
+		return ack.ID
 	}
 
 	// 1 + 2 + 3: affinity under named identity. Same spec twice → same
 	// named backend (the job id says which), one build total.
 	run("first submission ")
-	run("second submission") // same backend, zero new builds
+	id2 := run("second submission") // same backend, zero new builds
+
+	// 6: the traced submission's span timeline, read back through the
+	// gateway — byte-for-byte what the owning backend recorded.
+	tr, err := c.Trace(ctx, id2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var simSecs float64
+	sims := 0
+	for _, sp := range tr.Spans {
+		if sp.Name == "sim" {
+			simSecs += sp.Seconds
+			sims++
+		}
+	}
+	fmt.Printf("trace %s: %d spans over %.3fs wall; %d sim spans totalling %.3fs\n",
+		tr.TraceID, len(tr.Spans), tr.WallSeconds, sims, simSecs)
 
 	// 4: failover. Kill the backend holding the warm cache; the next
 	// submission re-routes to the survivor and still completes (it

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 )
 
 // Config sizes one gateway.
@@ -76,6 +77,9 @@ type Config struct {
 	// Timeout (event streams run as long as sweeps do); nil uses a
 	// default transport.
 	HTTPClient *http.Client
+	// Logger receives the gateway's structured log lines (nil = a plain
+	// text logger on stderr at info level, the historical behavior).
+	Logger *obs.Logger
 }
 
 // backend is one episimd instance as the gateway sees it.
@@ -125,6 +129,12 @@ type Gateway struct {
 	byName map[string]*backend
 
 	admit *admission
+	log   *obs.Logger
+
+	// proxyHist distributes backend round-trip latency (request out to
+	// response headers in) per backend — the gateway's own contribution
+	// to tail latency, separable from the backends' histograms.
+	proxyHist *obs.HistogramVec
 
 	started time.Time
 	stop    chan struct{}
@@ -160,6 +170,10 @@ func New(cfg Config) (*Gateway, error) {
 	if httpc == nil {
 		httpc = &http.Client{}
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NewLogger(os.Stderr, "text", obs.LevelInfo, "episim-gw")
+	}
 	g := &Gateway{
 		httpc:         httpc,
 		probec:        &http.Client{Timeout: cfg.ProbeTimeout},
@@ -168,9 +182,12 @@ func New(cfg Config) (*Gateway, error) {
 		spillDepth:    cfg.SpillQueueDepth,
 		byName:        map[string]*backend{},
 		admit:         newAdmission(cfg.SubmitRate, cfg.SubmitBurst, cfg.MaxInflightPerClient),
-		started:       time.Now(),
-		stop:          make(chan struct{}),
-		done:          make(chan struct{}),
+		log:           log,
+		proxyHist: obs.NewHistogramVec("episim_gw_proxy_seconds",
+			"Backend round-trip latency through the gateway, per backend.", "backend", nil),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	seen := map[string]bool{}
 	for i, u := range cfg.Backends {
@@ -212,6 +229,7 @@ func (g *Gateway) Close() {
 //	GET    /v1/sweeps             merged job list across backends
 //	GET    /v1/sweeps/{id}        proxied to the owning backend
 //	GET    /v1/sweeps/{id}/result verbatim bytes from the owning backend
+//	GET    /v1/sweeps/{id}/trace  verbatim span timeline from the owner
 //	GET    /v1/sweeps/{id}/events proxied SSE/NDJSON stream (?from= and
 //	                              Last-Event-ID replay preserved)
 //	POST   /v1/sweeps/{id}/cancel proxied cancel
@@ -225,6 +243,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps", g.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", g.withBackend(g.proxyStatus))
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", g.withBackend(g.proxyResult))
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", g.withBackend(g.proxyTrace))
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", g.withBackend(g.proxyEvents))
 	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", g.withBackend(g.proxyCancel))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", g.withBackend(g.proxyCancel))
@@ -270,13 +289,13 @@ func (g *Gateway) registerName(b *backend, name string) {
 	// refuse logs a refusal once per distinct refused name — the prober
 	// re-reports a persistent misconfiguration every round, and 43k
 	// identical lines a day would drown the eject/recover signal.
-	refuse := func(format string, args ...any) {
+	refuse := func(msg string, kvs ...any) {
 		b.probeMu.Lock()
 		repeat := b.lastRefused == name
 		b.lastRefused = name
 		b.probeMu.Unlock()
 		if !repeat {
-			fmt.Fprintf(os.Stderr, format, args...)
+			g.log.Warn(msg, kvs...)
 		}
 	}
 	// The shared validator also refuses the whole "b<number>" shape —
@@ -284,8 +303,8 @@ func (g *Gateway) registerName(b *backend, name string) {
 	// backend's own current slot) would make its ids resolve by position
 	// after the next list reorder.
 	if err := client.ValidateInstanceName(name); err != nil {
-		refuse("episim-gw: backend %s reports unusable name: %v; keeping %s\n",
-			b.url, err, keeping)
+		refuse("backend reports unusable name; keeping current identity",
+			"url", b.url, "err", err, "keeping", keeping)
 		return
 	}
 	if name == prev {
@@ -294,15 +313,15 @@ func (g *Gateway) registerName(b *backend, name string) {
 	g.nameMu.Lock()
 	defer g.nameMu.Unlock()
 	if other, taken := g.byName[name]; taken && other != b {
-		refuse("episim-gw: backend %s reports name %q already claimed by %s; keeping %s\n",
-			b.url, name, other.url, keeping)
+		refuse("backend reports already-claimed name; keeping current identity",
+			"url", b.url, "name", name, "claimed_by", other.url, "keeping", keeping)
 		return
 	}
 	g.byName[name] = b
 	if prev != "" && g.byName[prev] == b {
 		delete(g.byName, prev)
-		fmt.Fprintf(os.Stderr, "episim-gw: backend %s renamed %q -> %q; ids issued under the old name no longer resolve\n",
-			b.url, prev, name)
+		g.log.Warn("backend renamed; ids issued under the old name no longer resolve",
+			"url", b.url, "old", prev, "new", name)
 	}
 	b.probeMu.Lock()
 	b.name = name

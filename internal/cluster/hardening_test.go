@@ -379,7 +379,7 @@ func TestStatsDegradeToLastKnown(t *testing.T) {
 	if !strings.Contains(ms, "episim_gw_fleet_healthy 0") {
 		t.Fatalf("metrics missing fleet_healthy 0:\n%s", ms)
 	}
-	if !strings.Contains(ms, "episimd_sweeps_done_total 1") {
+	if !strings.Contains(ms, "episimd_sweeps_done 1") {
 		t.Fatalf("metrics lost last-known sweeps_done:\n%s", ms)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
@@ -69,7 +68,7 @@ func (g *Gateway) probe(b *backend) {
 		b.sinceProbe = 0
 		b.unhealthySince = time.Time{}
 		if !b.healthy.Swap(true) {
-			fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) healthy\n", label, b.url)
+			g.log.Info("backend healthy", "backend", label, "url", b.url)
 		}
 		return
 	}
@@ -77,7 +76,7 @@ func (g *Gateway) probe(b *backend) {
 	b.lastErr = err.Error()
 	if b.consecFails >= g.failAfter && b.healthy.Swap(false) {
 		b.unhealthySince = time.Now()
-		fmt.Fprintf(os.Stderr, "episim-gw: backend %s (%s) ejected: %v\n", label, b.url, err)
+		g.log.Warn("backend ejected", "backend", label, "url", b.url, "err", err)
 	}
 }
 
@@ -134,7 +133,7 @@ func (g *Gateway) markFailed(b *backend, err error) {
 	b.lastErr = err.Error()
 	if b.healthy.Swap(false) {
 		b.unhealthySince = time.Now()
-		fmt.Fprintf(os.Stderr, "episim-gw: backend %s ejected: %v\n", b.url, err)
+		g.log.Warn("backend ejected on proxy failure", "url", b.url, "err", err)
 	}
 }
 

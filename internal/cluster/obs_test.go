@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/obs"
+)
+
+// TestBackendHeaderOnProxiedReplies pins the X-Episim-Backend contract
+// in a Go test (previously asserted only by CI shell greps): submit,
+// status, and result replies all name the backend that served them, and
+// they all name the same one.
+func TestBackendHeaderOnProxiedReplies(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	ack, name := tc.submitRaw(t, specBody(t, testSpec()))
+	if name == "" {
+		t.Fatal("submit reply carries no X-Episim-Backend header")
+	}
+	tc.waitDone(t, ack.ID)
+
+	for _, path := range []string{"", "/result"} {
+		resp, err := http.Get(tc.gwURL + "/v1/sweeps/" + ack.ID + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get(backendHeader); got != name {
+			t.Fatalf("GET %s: %s = %q, want %q", path, backendHeader, got, name)
+		}
+	}
+}
+
+// TestTraceThroughGateway is the gateway half of the tracing acceptance
+// test: a trace id supplied at the gateway reaches the owning backend's
+// timeline, and the trace read back through the gateway is byte-
+// identical to reading the backend directly.
+func TestTraceThroughGateway(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+
+	req, err := http.NewRequest(http.MethodPost, tc.gwURL+"/v1/sweeps",
+		bytes.NewReader(specBody(t, testSpec())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, "t-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "t-123" {
+		t.Fatalf("gateway echoed trace id %q, want t-123", got)
+	}
+	var ack client.SubmitReply
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.TraceID != "t-123" {
+		t.Fatalf("ack trace id = %q, want t-123 (backend did not adopt the gateway-forwarded id)", ack.TraceID)
+	}
+	tc.waitDone(t, ack.ID)
+
+	code, viaGW := getRaw(t, tc.gwURL+"/v1/sweeps/"+ack.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("gateway trace: HTTP %d", code)
+	}
+	b, local, ok := tc.gw.resolveID(ack.ID)
+	if !ok {
+		t.Fatalf("ack id %q does not resolve", ack.ID)
+	}
+	code, direct := getRaw(t, b.url+"/v1/sweeps/"+local+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("direct trace: HTTP %d", code)
+	}
+	if !bytes.Equal(viaGW, direct) {
+		t.Fatalf("trace differs through gateway:\n--- via gw ---\n%s\n--- direct ---\n%s", viaGW, direct)
+	}
+	var tr client.TraceReply
+	if err := json.Unmarshal(viaGW, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != "t-123" {
+		t.Fatalf("trace id = %q, want t-123", tr.TraceID)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace carries no spans")
+	}
+}
+
+// TestGatewayMetricsHistograms: after a sweep through the gateway, its
+// /metrics carries the five merged backend histogram families plus its
+// own per-backend proxy round-trip histogram, each with HELP/TYPE.
+func TestGatewayMetricsHistograms(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	ack, name := tc.submitRaw(t, specBody(t, testSpec()))
+	tc.waitDone(t, ack.ID)
+
+	code, raw := getRaw(t, tc.gwURL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	body := string(raw)
+	for _, fam := range []string{
+		"episimd_submit_seconds",
+		"episimd_queue_wait_seconds",
+		"episimd_placement_build_seconds",
+		"episimd_cell_seconds",
+		"episimd_result_persist_seconds",
+		"episim_gw_proxy_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" histogram") {
+			t.Fatalf("gateway metrics missing histogram family %s:\n%s", fam, body)
+		}
+		if !strings.Contains(body, fam+"_bucket{") {
+			t.Fatalf("gateway metrics missing buckets for %s", fam)
+		}
+	}
+	// The proxy histogram is labelled by backend; at least the accepting
+	// backend must have observations.
+	if !strings.Contains(body, `episim_gw_proxy_seconds_count{backend="`+name+`"}`) {
+		t.Fatalf("proxy histogram missing backend label %q:\n%s", name, body)
+	}
+	// Merged submit histogram: exactly one submission fleet-wide.
+	if !strings.Contains(body, "episimd_submit_seconds_count 1") {
+		t.Fatalf("merged submit histogram count wrong:\n%s", body)
+	}
+}

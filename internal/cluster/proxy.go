@@ -17,6 +17,7 @@ import (
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/obs"
 )
 
 // controlTimeout bounds non-streaming proxied calls (submit, status,
@@ -39,7 +40,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // operational visibility (and what the routing smoke tests assert on).
 const backendHeader = "X-Episim-Backend"
 
-// forward issues one request to a backend, copying select headers.
+// forward issues one request to a backend, copying select headers (the
+// trace id among them, so a submission's trace follows it to the owning
+// daemon). The round-trip — request out to response headers in — feeds
+// the per-backend proxy latency histogram.
 func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte, hdr http.Header) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
@@ -49,12 +53,17 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range []string{"Content-Type", "Accept", "Last-Event-ID"} {
+	for _, k := range []string{"Content-Type", "Accept", "Last-Event-ID", obs.TraceHeader} {
 		if v := hdr.Get(k); v != "" {
 			req.Header.Set(k, v)
 		}
 	}
-	return g.httpc.Do(req)
+	start := time.Now()
+	resp, err := g.httpc.Do(req)
+	if err == nil {
+		g.proxyHist.With(b.identity()).ObserveSince(start)
+	}
+	return resp, err
 }
 
 // relay copies a backend reply through verbatim.
@@ -157,6 +166,17 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Normalize the trace id at the edge: adopt the client's (sanitized —
+	// it travels in headers and log lines) or mint one, stamp it on the
+	// forwarded request so the owning daemon adopts the same id, and echo
+	// it so the caller can correlate even a failed routing attempt.
+	traceID := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	r.Header.Set(obs.TraceHeader, traceID)
+	w.Header().Set(obs.TraceHeader, traceID)
+
 	key := DominantPlacementKey(spec)
 	order, affine, spillFirst := g.pickOrder(key)
 
@@ -215,6 +235,8 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			g.admit.commit(cKey, ack.ID)
 			cKey = "" // reservation consumed; the deferred release must not fire
 		}
+		g.log.Debug("sweep routed", "job", ack.ID, "trace", traceID,
+			"backend", b.identity(), "spilled", first && spillFirst)
 		w.Header().Set(backendHeader, b.identity())
 		writeJSON(w, http.StatusAccepted, ack)
 		return true, false
@@ -300,6 +322,24 @@ func (g *Gateway) proxyResult(w http.ResponseWriter, r *http.Request, b *backend
 	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusGone {
 		g.admit.observeTerminal(prefix + "-" + local)
 	}
+	relay(w, resp, b)
+}
+
+// proxyTrace streams the span timeline through untouched. The trace
+// reply's embedded id is deliberately the backend-local one (the
+// daemon's handler documents this), so the gateway need not re-encode —
+// a trace read through the gateway is byte-identical to reading the
+// owning backend directly, which the cluster tests assert.
+func (g *Gateway) proxyTrace(w http.ResponseWriter, r *http.Request, b *backend, prefix, local string) {
+	ctx, cancel := context.WithTimeout(r.Context(), controlTimeout)
+	defer cancel()
+	resp, err := g.forward(ctx, b, http.MethodGet, "/v1/sweeps/"+local+"/trace", nil, r.Header)
+	if err != nil {
+		g.reportFailure(r.Context(), b, err)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", b.identity(), err)
+		return
+	}
+	defer resp.Body.Close()
 	relay(w, resp, b)
 }
 

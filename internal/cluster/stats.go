@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -194,6 +196,10 @@ func mergeStats(into *client.StatsReply, st client.StatsReply) {
 	mergeStore(&into.PopulationStore, st.PopulationStore)
 	mergeStore(&into.PlacementStore, st.PlacementStore)
 	mergeStore(&into.ResultStore, st.ResultStore)
+	// Histograms share one bucket layout across the fleet, so per-bucket
+	// counts sum exactly — the merged distribution is what one daemon
+	// would have recorded had it done all the work.
+	into.Histograms = obs.MergeSnapshots(into.Histograms, st.Histograms)
 }
 
 func mergeCache(a *episim.SweepCacheStats, b episim.SweepCacheStats) {
@@ -227,29 +233,54 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.collectStats(r.Context()))
 }
 
+// promHeader writes one metric's HELP/TYPE block. Per-backend series
+// share a name, so the block is written once before all of them.
+func promHeader(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
 // handleMetrics renders the aggregate in the per-instance Prometheus
 // vocabulary (episimd_*, summed across backends — one scrape target for
-// the fleet) followed by the gateway's own episim_gw_* series.
+// the fleet) followed by the gateway's own episim_gw_* series, its
+// proxy-latency histogram, and Go runtime metrics.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := g.collectStats(r.Context())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	server.WriteMetrics(w, st.StatsReply)
-	fmt.Fprintf(w, "episim_gw_uptime_seconds %g\n", st.Gateway.UptimeSec)
-	fmt.Fprintf(w, "episim_gw_backends %d\n", st.Gateway.BackendsTotal)
-	fmt.Fprintf(w, "episim_gw_backends_healthy %d\n", st.Gateway.BackendsHealthy)
-	fmt.Fprintf(w, "episim_gw_fleet_healthy %d\n", st.Gateway.FleetHealthy)
-	fmt.Fprintf(w, "episim_gw_submissions_total %d\n", st.Gateway.Submitted)
-	fmt.Fprintf(w, "episim_gw_submissions_rerouted_total %d\n", st.Gateway.Rerouted)
-	fmt.Fprintf(w, "episim_gw_spilled_total %d\n", st.Gateway.Spilled)
+	for _, m := range []struct {
+		name, kind, help string
+		val              float64
+	}{
+		{"episim_gw_uptime_seconds", "gauge", "Seconds since the gateway started.", st.Gateway.UptimeSec},
+		{"episim_gw_backends", "gauge", "Backends configured.", float64(st.Gateway.BackendsTotal)},
+		{"episim_gw_backends_healthy", "gauge", "Backends currently passing health probes.", float64(st.Gateway.BackendsHealthy)},
+		{"episim_gw_fleet_healthy", "gauge", "1 while at least one backend is healthy; 0 means aggregates are last-known snapshots.", float64(st.Gateway.FleetHealthy)},
+		{"episim_gw_submissions_total", "counter", "Submissions accepted by some backend.", float64(st.Gateway.Submitted)},
+		{"episim_gw_submissions_rerouted_total", "counter", "Submissions that fell past their cache-affine first choice.", float64(st.Gateway.Rerouted)},
+		{"episim_gw_spilled_total", "counter", "Submissions diverted off a healthy-but-saturated owner by the spill bound.", float64(st.Gateway.Spilled)},
+	} {
+		promHeader(w, m.name, m.kind, m.help)
+		fmt.Fprintf(w, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
+	}
+	promHeader(w, "episim_gw_throttled_total", "counter", "429s from gateway admission control, by reason.")
 	fmt.Fprintf(w, "episim_gw_throttled_total{reason=\"rate\"} %d\n", st.Gateway.ThrottledRate)
 	fmt.Fprintf(w, "episim_gw_throttled_total{reason=\"inflight\"} %d\n", st.Gateway.ThrottledInflight)
+	promHeader(w, "episim_gw_backend_up", "gauge", "1 while the backend passes health probes.")
 	for _, bs := range st.Backends {
 		up := 0
 		if bs.Healthy {
 			up = 1
 		}
 		fmt.Fprintf(w, "episim_gw_backend_up{backend=%q,url=%q} %d\n", bs.Name, bs.URL, up)
+	}
+	promHeader(w, "episim_gw_backend_routed_total", "counter", "Submissions this gateway routed to the backend.")
+	for _, bs := range st.Backends {
 		fmt.Fprintf(w, "episim_gw_backend_routed_total{backend=%q} %d\n", bs.Name, bs.Routed)
+	}
+	promHeader(w, "episim_gw_backend_queue_depth", "gauge", "The gateway's current queue-depth estimate for the backend.")
+	for _, bs := range st.Backends {
 		fmt.Fprintf(w, "episim_gw_backend_queue_depth{backend=%q} %d\n", bs.Name, bs.QueueDepth)
 	}
+	obs.WriteHistogramsProm(w, g.proxyHist.Snapshots())
+	obs.WriteRuntimeMetrics(w)
 }

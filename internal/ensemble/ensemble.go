@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/disease"
+	"repro/internal/obs"
 	"repro/internal/synthpop"
 )
 
@@ -67,6 +69,11 @@ type RunOptions struct {
 	// spawns its own Workers goroutines but only min(Workers, free
 	// slots) make progress at once.
 	Slots *Slots
+	// Trace, when non-nil, receives named spans for the run's stages:
+	// population/placement builds and slow cache loads, every replicate
+	// simulation, and per-cell aggregation. All Timeline methods are
+	// nil-safe, so the executor records unconditionally.
+	Trace *obs.Timeline
 }
 
 // SweepResult is a completed sweep: one aggregated CellResult per grid
@@ -260,7 +267,9 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 		if !done {
 			return
 		}
+		aggStart := time.Now()
 		res := aggs[ci].finalize(cells[ci], spec.Quantiles, spec.Confidence)
+		opts.Trace.Add("aggregate", cells[ci].Label(), aggStart, time.Now())
 		stMu.Lock()
 		results[ci] = res
 		stMu.Unlock()
@@ -305,6 +314,7 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 		if err := priorFail(popKey); err != nil {
 			return fmt.Errorf("ensemble: population %s: %w", cell.Population.Label(), err)
 		}
+		popStart := time.Now()
 		popAny, built, err := popCache.get(ctx, popKey, func() (any, error) {
 			return hooks.GeneratePopulation(cell.Population, popSeed)
 		})
@@ -315,6 +325,7 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			memoFail(popKey, err)
 			return fmt.Errorf("ensemble: population %s: %w", cell.Population.Label(), err)
 		}
+		recordCacheSpan(opts.Trace, "population", cell.Population.Label(), popStart, built)
 		popCounts.record(popKey, built)
 		pop := popAny.(*synthpop.Population)
 
@@ -330,6 +341,7 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 		if opts.PredictCost != nil {
 			_, wasPeekable = plCache.Peek(plKey)
 		}
+		plStart := time.Now()
 		pl, built, err := plCache.get(ctx, plKey, func() (any, error) {
 			return hooks.BuildPlacement(pop, cell.Placement, popSeed)
 		})
@@ -340,12 +352,14 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			memoFail(plKey, err)
 			return fmt.Errorf("ensemble: placement %s: %w", cell.Placement.Label(), err)
 		}
+		recordCacheSpan(opts.Trace, "placement", cell.Placement.Label(), plStart, built)
 		plCounts.record(plKey, built)
 		if !wasPeekable {
 			repriceGen.Add(1)
 		}
 
 		sims.Add(1)
+		simStart := time.Now()
 		res, err := hooks.Simulate(pl, Job{
 			Cell:      cell,
 			Replicate: j.replicate,
@@ -353,6 +367,7 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			Model:     models[cell.modelIdx],
 			Spec:      spec,
 		})
+		opts.Trace.Add("sim", fmt.Sprintf("%s r%d", cell.Label(), j.replicate), simStart, time.Now())
 		if err != nil {
 			return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
 		}
@@ -456,6 +471,22 @@ feed:
 			len(failed), len(cells), states[failed[0]].err)
 	}
 	return out, nil
+}
+
+// recordCacheSpan traces one build-cache access. Every actual build gets
+// a "<kind>_build" span; a get that merely waited — on another worker's
+// in-flight build or a disk-tier load — is traced as "<kind>_load" only
+// when it took noticeable time, so a warm sweep's thousands of
+// instantaneous memory hits don't flood the timeline with zero-length
+// spans (the cache counters already account for them).
+func recordCacheSpan(tl *obs.Timeline, kind, label string, start time.Time, built bool) {
+	end := time.Now()
+	switch {
+	case built:
+		tl.Add(kind+"_build", label, start, end)
+	case end.Sub(start) >= time.Millisecond:
+		tl.Add(kind+"_load", label, start, end)
+	}
 }
 
 // errorCellResult is the placeholder emitted for a failed cell: labels

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// DebugHandler serves the opt-in profiling surface behind -pprof-addr:
+// the full net/http/pprof suite under /debug/pprof/ plus a plain-text
+// runtime metrics page at /debug/runtime. It is a separate handler (and
+// in the daemons a separate listener) on purpose — profiling endpoints
+// leak internals and can stall the world, so they never share the
+// service port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteRuntimeMetrics(w)
+	})
+	return mux
+}
+
+// ServeDebug starts the profiling listener on addr ("" = disabled,
+// returns nil). The returned server is already serving; callers Close it
+// on shutdown. Errors binding the port are returned so a daemon with a
+// mistyped -pprof-addr fails loudly at boot instead of silently
+// profiling nothing.
+func ServeDebug(addr string, log *Logger) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv := &http.Server{Addr: addr, Handler: DebugHandler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	log.Info("pprof listening", "addr", addr)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Error("pprof server failed", "err", err)
+		}
+	}()
+	return srv, nil
+}
+
+// WriteRuntimeMetrics renders process-level gauges in Prometheus text
+// format: goroutines, GC activity, heap, and (on Linux) resident set
+// size from /proc. Appended to /metrics by both daemons so every scrape
+// carries runtime context alongside service counters.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(w, "go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	writeCounter(w, "go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	writeCounter(w, "go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
+	writeGauge(w, "go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	writeGauge(w, "go_memstats_sys_bytes", "Bytes obtained from the OS.", float64(ms.Sys))
+	if rss, ok := residentBytes(); ok {
+		writeGauge(w, "process_resident_memory_bytes", "Resident set size.", rss)
+	}
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, formatFloat(v))
+}
+
+func writeCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
+		name, help, name, name, formatFloat(v))
+}
+
+// residentBytes reads the process RSS from /proc/self/statm (field 2,
+// pages). ok is false where /proc is unavailable (non-Linux) — the
+// metric is omitted rather than reported as a lying zero.
+func residentBytes() (float64, bool) {
+	f, err := os.Open("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil && line == "" {
+		return 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return pages * float64(os.Getpagesize()), true
+}

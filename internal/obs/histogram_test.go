@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucketing contract
+// at the edges: a value exactly on a bound lands in that bound's bucket
+// (Prometheus semantics), just past it lands in the next, and anything
+// beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("test_seconds", "t", []float64{0.1, 1, 10})
+	for _, v := range []float64{
+		0,      // below first bound → bucket 0
+		0.1,    // exactly on a bound → that bucket (le is inclusive)
+		0.1001, // just past → next bucket
+		1,      // exactly on the middle bound
+		10,     // exactly on the last bound
+		10.001, // past the last bound → +Inf
+		1e9,    // far past → +Inf
+	} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 1, 2} // per-bucket: le=0.1, le=1, le=10, +Inf
+	if len(s.Counts) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum < 1e9 || s.Sum > 1e9+22 {
+		t.Errorf("sum = %g out of expected range", s.Sum)
+	}
+}
+
+func TestHistogramNaNIgnoredAndNilSafe(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	h := NewHistogram("x", "", []float64{1})
+	nan := 0.0
+	h.Observe(nan / nan)
+	if got := h.Snapshot().Count; got != 0 {
+		t.Errorf("NaN was counted: count=%d", got)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; run under -race this is the lock-cheapness proof, and the
+// final count/sum must be exact regardless.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("conc_seconds", "t", nil)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%100) / 100.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+	// Sum of 0.00..0.99 per 100 observations = 49.5; exact because the
+	// CAS loop loses no updates.
+	want := float64(workers) * perWorker / 100 * 49.5
+	if diff := s.Sum - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+// TestHistogramPromRendering is the golden test for the exposition
+// format: HELP/TYPE header, cumulative buckets ending at +Inf, _sum and
+// _count.
+func TestHistogramPromRendering(t *testing.T) {
+	h := NewHistogram("episimd_test_seconds", "Test latency.", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(99)
+	var sb strings.Builder
+	WriteHistogramsProm(&sb, []HistogramSnapshot{h.Snapshot()})
+	want := `# HELP episimd_test_seconds Test latency.
+# TYPE episimd_test_seconds histogram
+episimd_test_seconds_bucket{le="0.5"} 2
+episimd_test_seconds_bucket{le="2"} 3
+episimd_test_seconds_bucket{le="+Inf"} 4
+episimd_test_seconds_sum 100.2
+episimd_test_seconds_count 4
+`
+	if sb.String() != want {
+		t.Errorf("rendering mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramVecRendering pins labelled output: one family header,
+// children adjacent, label before le.
+func TestHistogramVecRendering(t *testing.T) {
+	v := NewHistogramVec("gw_proxy_seconds", "Proxy RTT.", "backend", []float64{1})
+	v.With("node-1").Observe(0.5)
+	v.With("node-0").Observe(2)
+	var sb strings.Builder
+	WriteHistogramsProm(&sb, v.Snapshots())
+	want := `# HELP gw_proxy_seconds Proxy RTT.
+# TYPE gw_proxy_seconds histogram
+gw_proxy_seconds_bucket{backend="node-0",le="1"} 0
+gw_proxy_seconds_bucket{backend="node-0",le="+Inf"} 1
+gw_proxy_seconds_sum{backend="node-0"} 2
+gw_proxy_seconds_count{backend="node-0"} 1
+gw_proxy_seconds_bucket{backend="node-1",le="1"} 1
+gw_proxy_seconds_bucket{backend="node-1",le="+Inf"} 1
+gw_proxy_seconds_sum{backend="node-1"} 0.5
+gw_proxy_seconds_count{backend="node-1"} 1
+`
+	if sb.String() != want {
+		t.Errorf("vec rendering mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestMergeSnapshots proves gateway-side aggregation: same-name
+// snapshots add bucket-wise, distinct label values stay separate, and
+// mismatched layouts refuse to merge.
+func TestMergeSnapshots(t *testing.T) {
+	a := NewHistogram("m_seconds", "h", []float64{1, 10})
+	a.Observe(0.5)
+	a.Observe(5)
+	b := NewHistogram("m_seconds", "h", []float64{1, 10})
+	b.Observe(0.5)
+	b.Observe(50)
+	merged := MergeSnapshots(nil, []HistogramSnapshot{a.Snapshot()})
+	merged = MergeSnapshots(merged, []HistogramSnapshot{b.Snapshot()})
+	if len(merged) != 1 {
+		t.Fatalf("got %d families, want 1", len(merged))
+	}
+	m := merged[0]
+	if m.Count != 4 || m.Counts[0] != 2 || m.Counts[1] != 1 || m.Counts[2] != 1 {
+		t.Errorf("merged counts wrong: %+v", m)
+	}
+	if m.Sum != 56 {
+		t.Errorf("merged sum = %g, want 56", m.Sum)
+	}
+
+	bad := HistogramSnapshot{Name: "m_seconds", Bounds: []float64{2}, Counts: []uint64{1, 0}}
+	if err := m.Merge(bad); err == nil {
+		t.Error("mismatched layouts merged without error")
+	}
+
+	// Distinct label values never merge into one series.
+	l1 := HistogramSnapshot{Name: "v", Label: "backend", LabelValue: "a", Bounds: []float64{1}, Counts: []uint64{1, 0}, Count: 1}
+	l2 := HistogramSnapshot{Name: "v", Label: "backend", LabelValue: "b", Bounds: []float64{1}, Counts: []uint64{1, 0}, Count: 1}
+	out := MergeSnapshots(nil, []HistogramSnapshot{l1, l2})
+	if len(out) != 2 {
+		t.Fatalf("labelled series collapsed: %d families", len(out))
+	}
+}
+
+func TestDefaultBucketsAscending(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("default buckets not ascending at %d: %v", i, b)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// Logger is a leveled, structured logger writing one line per event:
+// "<component>: msg key=val ..." in text mode (the daemons' historical
+// stderr shape, plus fields), or a single JSON object in json mode.
+// A trace field correlates log lines with a job's trace id. Methods are
+// nil-safe no-ops, so optional logging needs no guards.
+type Logger struct {
+	mu        *sync.Mutex
+	w         io.Writer
+	jsonMode  bool
+	level     Level
+	component string
+	fields    []kv
+	now       func() time.Time
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// NewLogger builds a logger for component writing to w. format is
+// "text" or "json"; anything else falls back to text.
+func NewLogger(w io.Writer, format string, level Level, component string) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{
+		mu:        &sync.Mutex{},
+		w:         w,
+		jsonMode:  strings.EqualFold(format, "json"),
+		level:     level,
+		component: component,
+		now:       time.Now,
+	}
+}
+
+// With returns a child logger with fields bound to every line (keys and
+// values alternate: With("trace", id, "job", jid)).
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.fields = append(append([]kv(nil), l.fields...), pairs(kvs)...)
+	return &child
+}
+
+func pairs(kvs []any) []kv {
+	out := make([]kv, 0, len(kvs)/2)
+	for i := 0; i+1 < len(kvs); i += 2 {
+		k, ok := kvs[i].(string)
+		if !ok {
+			k = fmt.Sprint(kvs[i])
+		}
+		out = append(out, kv{k: k, v: kvs[i+1]})
+	}
+	return out
+}
+
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+func (l *Logger) Info(msg string, kvs ...any)  { l.log(LevelInfo, msg, kvs) }
+func (l *Logger) Warn(msg string, kvs ...any)  { l.log(LevelWarn, msg, kvs) }
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func (l *Logger) log(lvl Level, msg string, kvs []any) {
+	if l == nil || lvl < l.level {
+		return
+	}
+	fields := append(append([]kv(nil), l.fields...), pairs(kvs)...)
+	var line []byte
+	if l.jsonMode {
+		obj := map[string]any{
+			"ts":    l.now().UTC().Format(time.RFC3339Nano),
+			"level": lvl.String(),
+			"msg":   msg,
+		}
+		if l.component != "" {
+			obj["component"] = l.component
+		}
+		for _, f := range fields {
+			if _, taken := obj[f.k]; taken {
+				continue // reserved keys win; a field named "msg" must not clobber the message
+			}
+			obj[f.k] = jsonSafe(f.v)
+		}
+		b, err := json.Marshal(obj)
+		if err != nil {
+			// Map keys are sorted by encoding/json, and jsonSafe below
+			// stringifies anything non-marshalable, so this is unreachable;
+			// degrade to text rather than drop the event if it ever fires.
+			b = []byte(fmt.Sprintf("{%q:%q}", "msg", msg))
+		}
+		line = append(b, '\n')
+	} else {
+		var sb strings.Builder
+		if l.component != "" {
+			sb.WriteString(l.component)
+			sb.WriteString(": ")
+		}
+		if lvl != LevelInfo {
+			sb.WriteString(strings.ToUpper(lvl.String()))
+			sb.WriteString(" ")
+		}
+		sb.WriteString(msg)
+		for _, f := range fields {
+			fmt.Fprintf(&sb, " %s=%s", f.k, textValue(f.v))
+		}
+		sb.WriteString("\n")
+		line = []byte(sb.String())
+	}
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonSafe passes marshalable values through and stringifies the rest
+// (errors, in particular, marshal to {} otherwise).
+func jsonSafe(v any) any {
+	switch t := v.(type) {
+	case error:
+		return t.Error()
+	case fmt.Stringer:
+		return t.String()
+	}
+	if _, err := json.Marshal(v); err != nil {
+		return fmt.Sprint(v)
+	}
+	return v
+}
+
+// textValue renders one field value for text mode, quoting anything
+// with spaces so lines stay machine-splittable.
+func textValue(v any) string {
+	s := fmt.Sprint(jsonSafe(v))
+	if strings.ContainsAny(s, " \t\n\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a submission's trace id end to end: client →
+// episim-gw → episimd. Clients may supply their own id; the gateway (or
+// a directly-addressed daemon) generates one when absent, and every
+// reply echoes the header so callers always learn the id in effect.
+const TraceHeader = "X-Episim-Trace-Id"
+
+// maxTraceIDLen bounds accepted trace ids; longer client-supplied ids
+// are rejected (a fresh id is generated) rather than truncated, so two
+// distinct long ids never alias.
+const maxTraceIDLen = 64
+
+// NewTraceID returns a fresh 16-hex-char trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; trace ids
+		// only need uniqueness, so fall back to the clock.
+		now := time.Now().UnixNano()
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID validates a client-supplied trace id: hostname-safe
+// characters only (it travels in headers, log lines and JSON), bounded
+// length. Anything else returns "" — callers then generate a fresh id
+// instead of propagating junk.
+func SanitizeTraceID(s string) string {
+	if s == "" || len(s) > maxTraceIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '.' || c == '_' || c == '-' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return ""
+		}
+	}
+	return s
+}
+
+// Span is one named, timed stage of a job's lifecycle.
+type Span struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	// Start/End are wall-clock; Seconds is End-Start, precomputed so
+	// consumers (and the trace CLI) never re-derive it.
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Seconds float64   `json:"seconds"`
+}
+
+// maxSpans bounds one timeline's retained spans: a 10k-cell sweep must
+// not hold 100k sim spans in memory per job. Past the cap, spans are
+// counted as dropped (and still fed to the observer, so histograms stay
+// exact) but not retained.
+const maxSpans = 4096
+
+// Timeline records a job's spans. All methods are nil-safe no-ops so
+// instrumented code paths need no "is tracing on" guards; the executor
+// simply threads whatever timeline it was handed (possibly nil).
+type Timeline struct {
+	mu       sync.Mutex
+	traceID  string
+	spans    []Span
+	dropped  int
+	observer func(Span)
+}
+
+// NewTimeline builds a timeline stamped with traceID.
+func NewTimeline(traceID string) *Timeline {
+	return &Timeline{traceID: traceID}
+}
+
+// SetObserver registers a hook invoked for every recorded span — the
+// server feeds its latency histograms from spans this way, so timeline
+// and histograms can never disagree. Set it before the timeline is
+// shared with worker goroutines.
+func (t *Timeline) SetObserver(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
+}
+
+// TraceID returns the timeline's trace id ("" for nil).
+func (t *Timeline) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Add records one completed span.
+func (t *Timeline) Add(name, detail string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	sp := Span{
+		Name:    name,
+		Detail:  detail,
+		Start:   start,
+		End:     end,
+		Seconds: end.Sub(start).Seconds(),
+	}
+	t.mu.Lock()
+	obs := t.observer
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	if obs != nil {
+		obs(sp)
+	}
+}
+
+// Start opens a span now and returns the closure that ends it.
+func (t *Timeline) Start(name, detail string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, detail, start, time.Now()) }
+}
+
+// Snapshot copies the recorded spans, ordered by start time, plus the
+// count of spans dropped past the retention cap.
+func (t *Timeline) Snapshot() (spans []Span, dropped int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	spans = append([]Span(nil), t.spans...)
+	dropped = t.dropped
+	t.mu.Unlock()
+	for i := 1; i < len(spans); i++ {
+		// Spans arrive roughly start-ordered (insertion sort is near
+		// O(n)); concurrent workers interleave, so normalize here once
+		// rather than sorting on every Add.
+		for j := i; j > 0 && spans[j].Start.Before(spans[j-1].Start); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	return spans, dropped
+}

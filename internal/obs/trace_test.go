@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSanitizeTraceID(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"t-123", "t-123"},
+		{"abc.DEF_9", "abc.DEF_9"},
+		{"", ""},
+		{"has space", ""},
+		{"crlf\r\ninjection", ""}, // header injection must not survive
+		{"semi;colon", ""},
+		{strings.Repeat("a", 65), ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+	} {
+		if got := SanitizeTraceID(tc.in); got != tc.want {
+			t.Errorf("SanitizeTraceID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 || SanitizeTraceID(id) != id {
+			t.Fatalf("bad trace id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Add("x", "", time.Now(), time.Now())
+	tl.Start("y", "")()
+	tl.SetObserver(func(Span) {})
+	if id := tl.TraceID(); id != "" {
+		t.Errorf("nil timeline trace id %q", id)
+	}
+	if spans, dropped := tl.Snapshot(); spans != nil || dropped != 0 {
+		t.Error("nil timeline snapshot not empty")
+	}
+}
+
+func TestTimelineRecordsAndOrders(t *testing.T) {
+	tl := NewTimeline("t-1")
+	base := time.Now()
+	tl.Add("second", "", base.Add(time.Second), base.Add(2*time.Second))
+	tl.Add("first", "d", base, base.Add(time.Second))
+	spans, dropped := tl.Snapshot()
+	if dropped != 0 || len(spans) != 2 {
+		t.Fatalf("spans=%d dropped=%d", len(spans), dropped)
+	}
+	if spans[0].Name != "first" || spans[1].Name != "second" {
+		t.Errorf("spans not start-ordered: %v then %v", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Seconds != 1 {
+		t.Errorf("seconds = %g, want 1", spans[0].Seconds)
+	}
+	if tl.TraceID() != "t-1" {
+		t.Errorf("trace id %q", tl.TraceID())
+	}
+}
+
+// TestTimelineObserverAndCap: past the retention cap, spans still reach
+// the observer (histograms stay exact) but are counted dropped.
+func TestTimelineObserverAndCap(t *testing.T) {
+	tl := NewTimeline("t-2")
+	observed := 0
+	tl.SetObserver(func(Span) { observed++ })
+	now := time.Now()
+	for i := 0; i < maxSpans+10; i++ {
+		tl.Add("s", "", now, now)
+	}
+	spans, dropped := tl.Snapshot()
+	if len(spans) != maxSpans {
+		t.Errorf("retained %d spans, want %d", len(spans), maxSpans)
+	}
+	if dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+	if observed != maxSpans+10 {
+		t.Errorf("observer saw %d spans, want %d", observed, maxSpans+10)
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline("t-3")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tl.Start("work", "")()
+			}
+		}()
+	}
+	wg.Wait()
+	spans, _ := tl.Snapshot()
+	if len(spans) != 800 {
+		t.Fatalf("got %d spans, want 800", len(spans))
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/obs"
 )
 
 // sweepRunner executes one sweep; production wires episim.RunSweepContext,
@@ -65,8 +67,8 @@ func newScheduler(st *store, cache *episim.SweepCache, slots *episim.SweepSlots,
 // submission landing in the shutdown window (scheduler closed, listener
 // still draining) is terminated immediately so its status and event
 // stream resolve instead of queuing forever.
-func (s *scheduler) submit(spec *episim.SweepSpec) *job {
-	j := s.store.add(spec)
+func (s *scheduler) submit(spec *episim.SweepSpec, traceID string, trace *obs.Timeline) *job {
+	j := s.store.add(spec, traceID, trace)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -152,6 +154,10 @@ func (s *scheduler) execute(j *job) {
 	if !s.store.markRunning(j, cancel) {
 		return // canceled while queued
 	}
+	// created/started are stable now (created is immutable after add;
+	// started was just set under the store lock by markRunning): the
+	// queue_wait span is exactly the admission delay.
+	j.trace.Add("queue_wait", "", j.created, j.started)
 
 	// Clamp the sweep's own goroutine count to the service pool: the
 	// shared slots bound actual parallelism, the clamp just avoids
@@ -170,6 +176,7 @@ func (s *scheduler) execute(j *job) {
 		Cache:  s.cache,
 		Slots:  s.slots,
 		OnCell: onCell,
+		Trace:  j.trace,
 	})
 
 	var st client.JobStatus
@@ -189,6 +196,15 @@ func (s *scheduler) execute(j *job) {
 		st = s.store.finish(j, client.StateFailed, err.Error(), res)
 		typ = "error"
 	}
+	// The run span closes at the store's recorded finish time, so the
+	// union of queue_wait + run covers created→finished exactly — the
+	// trace endpoint's coverage contract. Recorded before the terminal
+	// event publishes: a client reacting to "done" sees a complete trace.
+	runEnd := time.Now()
+	if st.Finished != nil {
+		runEnd = *st.Finished
+	}
+	j.trace.Add("run", string(st.State), j.started, runEnd)
 	j.hub.publish(client.Event{Type: typ, Job: &st})
 	j.hub.close()
 }

@@ -15,6 +15,7 @@ import (
 	episim "repro"
 	"repro/client"
 	"repro/internal/artifact"
+	"repro/internal/obs"
 )
 
 // Config sizes one episimd instance.
@@ -50,6 +51,14 @@ type Config struct {
 	StoreMaxBytes int64
 	// GCInterval is the cadence of the disk GC pass (0 = 1 minute).
 	GCInterval time.Duration
+	// Logger receives the daemon's structured log lines (nil = a plain
+	// text logger on stderr at info level, the historical behavior).
+	Logger *obs.Logger
+}
+
+// defaultLogger is the stderr text logger used when none is configured.
+func defaultLogger() *obs.Logger {
+	return obs.NewLogger(os.Stderr, "text", obs.LevelInfo, "episimd")
 }
 
 // Server is the episimd service core: job store, scheduler, shared
@@ -62,6 +71,16 @@ type Server struct {
 
 	name     string
 	cacheDir string
+	log      *obs.Logger
+
+	// Latency histograms, fed from request handling and from job span
+	// observers (one code path records both the per-job timeline and the
+	// daemon-wide distribution, so the two can never disagree).
+	submitHist    *obs.Histogram
+	queueWaitHist *obs.Histogram
+	plBuildHist   *obs.Histogram
+	cellHist      *obs.Histogram
+	persistHist   *obs.Histogram
 
 	// Disk GC: a background loop prunes the placement store to
 	// storeMaxBytes (LRU) and expires result records past resultTTL.
@@ -98,6 +117,11 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 		st.retain = cfg.Retain
 		st.ttl = cfg.ResultTTL
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = defaultLogger()
+	}
+	st.log = log
 	slots := episim.NewSweepSlots(cfg.Workers)
 	srv := &Server{
 		store:         st,
@@ -106,8 +130,15 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 		started:       time.Now(),
 		name:          cfg.Name,
 		cacheDir:      cfg.CacheDir,
+		log:           log,
 		storeMaxBytes: cfg.StoreMaxBytes,
 		resultTTL:     cfg.ResultTTL,
+
+		submitHist:    obs.NewHistogram("episimd_submit_seconds", "Submission handling latency (parse + enqueue).", nil),
+		queueWaitHist: obs.NewHistogram("episimd_queue_wait_seconds", "Time sweeps spent queued before execution started.", nil),
+		plBuildHist:   obs.NewHistogram("episimd_placement_build_seconds", "Placement partition build time (cache misses only).", nil),
+		cellHist:      obs.NewHistogram("episimd_cell_seconds", "Per-replicate simulation time.", nil),
+		persistHist:   obs.NewHistogram("episimd_result_persist_seconds", "Time writing finished job records to the disk store.", nil),
 	}
 	if cfg.CacheDir != "" && (cfg.StoreMaxBytes > 0 || cfg.ResultTTL > 0) {
 		interval := cfg.GCInterval
@@ -154,17 +185,33 @@ func (s *Server) gcLoop(interval time.Duration) {
 func (s *Server) runGC() {
 	if s.storeMaxBytes > 0 {
 		if files, bytes, err := s.cache.GCPlacements(s.storeMaxBytes); err != nil {
-			fmt.Fprintf(os.Stderr, "episimd: placement GC: %v\n", err)
+			s.log.Error("placement GC failed", "err", err)
 		} else if files > 0 {
-			fmt.Fprintf(os.Stderr, "episimd: placement GC pruned %d artifacts (%d bytes)\n", files, bytes)
+			s.log.Info("placement GC pruned artifacts", "files", files, "bytes", bytes)
 		}
 	}
 	if s.resultTTL > 0 && s.store.results != nil {
 		if files, bytes, err := s.store.results.ExpireOlderThan(s.resultTTL); err != nil {
-			fmt.Fprintf(os.Stderr, "episimd: result GC: %v\n", err)
+			s.log.Error("result GC failed", "err", err)
 		} else if files > 0 {
-			fmt.Fprintf(os.Stderr, "episimd: result GC expired %d records (%d bytes)\n", files, bytes)
+			s.log.Info("result GC expired records", "files", files, "bytes", bytes)
 		}
+	}
+}
+
+// observeSpan feeds the daemon-wide latency histograms from job spans —
+// the timeline's observer hook, so per-job traces and fleet histograms
+// are two views of the same measurements.
+func (s *Server) observeSpan(sp obs.Span) {
+	switch sp.Name {
+	case "queue_wait":
+		s.queueWaitHist.Observe(sp.Seconds)
+	case "placement_build":
+		s.plBuildHist.Observe(sp.Seconds)
+	case "sim":
+		s.cellHist.Observe(sp.Seconds)
+	case "result_persist":
+		s.persistHist.Observe(sp.Seconds)
 	}
 }
 
@@ -174,6 +221,7 @@ func (s *Server) runGC() {
 //	GET    /v1/sweeps             list jobs
 //	GET    /v1/sweeps/{id}        one job's status
 //	GET    /v1/sweeps/{id}/result full aggregate once finished
+//	GET    /v1/sweeps/{id}/trace  span timeline: where the wall clock went
 //	GET    /v1/sweeps/{id}/events SSE (or ?format=ndjson) cell stream,
 //	                              replayable via ?from= / Last-Event-ID
 //	POST   /v1/sweeps/{id}/cancel stop a queued or running sweep
@@ -190,6 +238,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.withJob(s.handleStatus))
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.withJob(s.handleResult))
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.withJob(s.handleTrace))
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.withJob(s.handleEvents))
 	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.withJob(s.handleCancel))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.withJob(s.handleCancel))
@@ -274,21 +323,67 @@ func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.submitHist.ObserveSince(start)
 	spec, err := episim.ParseSweepSpec(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := s.sched.submit(spec)
+	// Adopt the caller's trace id (sanitized — it travels in headers and
+	// log lines) or mint one, and start the job's span timeline. The
+	// observer wires every span into the daemon-wide histograms.
+	traceID := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	trace := obs.NewTimeline(traceID)
+	trace.SetObserver(s.observeSpan)
+	j := s.sched.submit(spec, traceID, trace)
+	// The admission span opens at handler entry, before the job's
+	// created stamp, so the timeline covers the submit path itself.
+	trace.Add("admission", "", start, time.Now())
+	s.log.Info("sweep accepted", "job", j.id, "trace", traceID,
+		"cells", j.cells, "replicates", spec.Replicates)
+	w.Header().Set(obs.TraceHeader, traceID)
 	writeJSON(w, http.StatusAccepted, client.SubmitReply{
 		ID:          j.id,
 		Cells:       j.cells,
 		Simulations: j.cells * spec.Replicates,
+		TraceID:     traceID,
 	})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *job) {
 	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+// handleTrace serves a sweep's span timeline. The reply's ID is the
+// backend-local job id and is NOT rewritten by a fronting gateway — the
+// gateway relays these bytes verbatim, so a trace fetched through it is
+// byte-identical to one fetched from the owning backend directly.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, j *job) {
+	st := s.store.status(j)
+	spans, dropped := j.trace.Snapshot()
+	tr := client.TraceReply{
+		ID:           st.ID,
+		TraceID:      st.TraceID,
+		State:        st.State,
+		Created:      st.Created,
+		Started:      st.Started,
+		Finished:     st.Finished,
+		Spans:        spans,
+		SpansDropped: dropped,
+	}
+	if spans == nil {
+		tr.Spans = []client.TraceSpan{} // archived jobs: explicit empty, not null
+	}
+	end := time.Now()
+	if st.Finished != nil {
+		end = *st.Finished
+	}
+	tr.WallSeconds = end.Sub(st.Created).Seconds()
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
@@ -446,6 +541,13 @@ func (s *Server) stats() client.StatsReply {
 		st := s.store.results.Stats()
 		reply.ResultStore = &st
 	}
+	reply.Histograms = []obs.HistogramSnapshot{
+		s.submitHist.Snapshot(),
+		s.queueWaitHist.Snapshot(),
+		s.plBuildHist.Snapshot(),
+		s.cellHist.Snapshot(),
+		s.persistHist.Snapshot(),
+	}
 	return reply
 }
 
@@ -454,59 +556,84 @@ func (s *Server) stats() client.StatsReply {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	WriteMetrics(w, s.stats())
+	obs.WriteRuntimeMetrics(w)
 }
 
-// WriteMetrics renders a StatsReply as Prometheus text-format gauges and
-// counters. Exported so episim-gw can serve the cluster-aggregated
-// snapshot in exactly the per-instance metric vocabulary.
-func WriteMetrics(w io.Writer, st client.StatsReply) {
-	for _, m := range []struct {
-		name string
-		val  float64
-	}{
-		{"episimd_uptime_seconds", st.UptimeSec},
-		{"episimd_queue_depth", float64(st.QueueDepth)},
-		{"episimd_active_sweeps", float64(st.ActiveSweeps)},
-		{"episimd_sweeps_total", float64(st.SweepsTotal)},
-		{"episimd_sweeps_done_total", float64(st.SweepsDone)},
-		{"episimd_sweeps_failed_total", float64(st.SweepsFailed)},
-		{"episimd_sweeps_canceled_total", float64(st.SweepsCanceled)},
-		{"episimd_sweeps_evicted_total", float64(st.SweepsEvicted)},
-		{"episimd_cells_streamed_total", float64(st.CellsStreamed)},
-		{"episimd_cells_per_second", st.CellsPerSec},
-		{"episimd_population_cache_entries", float64(st.PopulationCache.Entries)},
-		{"episimd_population_cache_bytes", float64(st.PopulationCache.Bytes)},
-		{"episimd_population_cache_hits_total", float64(st.PopulationCache.Hits)},
-		{"episimd_population_cache_misses_total", float64(st.PopulationCache.Misses)},
-		{"episimd_population_cache_evictions_total", float64(st.PopulationCache.Evictions)},
-		{"episimd_population_cache_builds_total", float64(st.PopulationCache.Builds)},
-		{"episimd_population_cache_disk_hits_total", float64(st.PopulationCache.DiskHits)},
-		{"episimd_population_cache_disk_misses_total", float64(st.PopulationCache.DiskMisses)},
-		{"episimd_population_cache_disk_writes_total", float64(st.PopulationCache.DiskWrites)},
-		{"episimd_population_cache_disk_errors_total", float64(st.PopulationCache.DiskErrors)},
-		{"episimd_placement_cache_entries", float64(st.PlacementCache.Entries)},
-		{"episimd_placement_cache_bytes", float64(st.PlacementCache.Bytes)},
-		{"episimd_placement_cache_hits_total", float64(st.PlacementCache.Hits)},
-		{"episimd_placement_cache_misses_total", float64(st.PlacementCache.Misses)},
-		{"episimd_placement_cache_evictions_total", float64(st.PlacementCache.Evictions)},
-		{"episimd_placement_cache_builds_total", float64(st.PlacementCache.Builds)},
-		{"episimd_placement_cache_disk_hits_total", float64(st.PlacementCache.DiskHits)},
-		{"episimd_placement_cache_disk_misses_total", float64(st.PlacementCache.DiskMisses)},
-		{"episimd_placement_cache_disk_writes_total", float64(st.PlacementCache.DiskWrites)},
-		{"episimd_placement_cache_disk_errors_total", float64(st.PlacementCache.DiskErrors)},
-		{"episimd_population_store_files", storeFiles(st.PopulationStore)},
-		{"episimd_population_store_bytes", storeBytes(st.PopulationStore)},
-		{"episimd_placement_store_files", storeFiles(st.PlacementStore)},
-		{"episimd_placement_store_bytes", storeBytes(st.PlacementStore)},
-		{"episimd_result_store_files", storeFiles(st.ResultStore)},
-		{"episimd_result_store_bytes", storeBytes(st.ResultStore)},
-		{"episimd_placement_store_gc_files_total", storeGCFiles(st.PlacementStore)},
-		{"episimd_placement_store_gc_bytes_total", storeGCBytes(st.PlacementStore)},
-		{"episimd_result_store_gc_files_total", storeGCFiles(st.ResultStore)},
-		{"episimd_result_store_gc_bytes_total", storeGCBytes(st.ResultStore)},
-	} {
-		fmt.Fprintf(w, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
+// promMetric is one scalar series in the /metrics rendering: every
+// series gets a HELP/TYPE block, and the TYPE is honest — counters are
+// monotonic over the daemon's life, everything else is a gauge. The
+// sweep state tallies (done/failed/canceled) are gauges on purpose:
+// they count jobs currently in the memory index, which retention
+// eviction decreases.
+type promMetric struct {
+	name string
+	kind string // "counter" or "gauge"
+	help string
+	val  float64
+}
+
+func writePromMetric(w io.Writer, m promMetric) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		m.name, m.help, m.name, m.kind,
+		m.name, strconv.FormatFloat(m.val, 'g', -1, 64))
+}
+
+// cacheMetrics renders one build cache's accounting under prefix.
+func cacheMetrics(prefix string, c episim.SweepCacheStats) []promMetric {
+	return []promMetric{
+		{prefix + "_entries", "gauge", "Entries resident in the memory LRU.", float64(c.Entries)},
+		{prefix + "_bytes", "gauge", "Bytes retained by the memory LRU.", float64(c.Bytes)},
+		{prefix + "_hits_total", "counter", "Memory cache hits.", float64(c.Hits)},
+		{prefix + "_misses_total", "counter", "Memory cache misses.", float64(c.Misses)},
+		{prefix + "_evictions_total", "counter", "Entries evicted by the byte bound.", float64(c.Evictions)},
+		{prefix + "_builds_total", "counter", "Artifacts built from scratch (singleflight-deduplicated).", float64(c.Builds)},
+		{prefix + "_disk_hits_total", "counter", "Disk tier hits (artifact loaded instead of rebuilt).", float64(c.DiskHits)},
+		{prefix + "_disk_misses_total", "counter", "Disk tier misses.", float64(c.DiskMisses)},
+		{prefix + "_disk_writes_total", "counter", "Artifacts written through to the disk tier.", float64(c.DiskWrites)},
+		{prefix + "_disk_errors_total", "counter", "Disk tier read/write failures (served from build instead).", float64(c.DiskErrors)},
 	}
+}
+
+// storeMetrics renders one artifact store's size and GC accounting.
+func storeMetrics(prefix, what string, st *episim.SweepStoreStats) []promMetric {
+	return []promMetric{
+		{prefix + "_files", "gauge", "Files in the " + what + " store.", storeFiles(st)},
+		{prefix + "_bytes", "gauge", "Bytes in the " + what + " store.", storeBytes(st)},
+	}
+}
+
+// WriteMetrics renders a StatsReply as Prometheus text-format series,
+// each with its HELP/TYPE block. Exported so episim-gw can serve the
+// cluster-aggregated snapshot in exactly the per-instance metric
+// vocabulary.
+func WriteMetrics(w io.Writer, st client.StatsReply) {
+	metrics := []promMetric{
+		{"episimd_uptime_seconds", "gauge", "Seconds since the daemon started.", st.UptimeSec},
+		{"episimd_queue_depth", "gauge", "Sweeps queued and still waiting for an execution slot.", float64(st.QueueDepth)},
+		{"episimd_active_sweeps", "gauge", "Sweeps executing right now.", float64(st.ActiveSweeps)},
+		{"episimd_sweeps", "gauge", "Sweeps in the memory index, any state.", float64(st.SweepsTotal)},
+		{"episimd_sweeps_done", "gauge", "Completed sweeps in the memory index (decreases on retention eviction).", float64(st.SweepsDone)},
+		{"episimd_sweeps_failed", "gauge", "Failed sweeps in the memory index (decreases on retention eviction).", float64(st.SweepsFailed)},
+		{"episimd_sweeps_canceled", "gauge", "Canceled sweeps in the memory index (decreases on retention eviction).", float64(st.SweepsCanceled)},
+		{"episimd_sweeps_evicted_total", "counter", "Finished sweeps evicted from the memory index by retention.", float64(st.SweepsEvicted)},
+		{"episimd_cells_streamed_total", "counter", "Sweep cells finalized and streamed to subscribers.", float64(st.CellsStreamed)},
+		{"episimd_cells_per_second", "gauge", "Mean cell throughput over the daemon's uptime.", st.CellsPerSec},
+	}
+	metrics = append(metrics, cacheMetrics("episimd_population_cache", st.PopulationCache)...)
+	metrics = append(metrics, cacheMetrics("episimd_placement_cache", st.PlacementCache)...)
+	metrics = append(metrics, storeMetrics("episimd_population_store", "population", st.PopulationStore)...)
+	metrics = append(metrics, storeMetrics("episimd_placement_store", "placement", st.PlacementStore)...)
+	metrics = append(metrics, storeMetrics("episimd_result_store", "result", st.ResultStore)...)
+	metrics = append(metrics,
+		promMetric{"episimd_placement_store_gc_files_total", "counter", "Placement artifacts pruned by the LRU disk GC.", storeGCFiles(st.PlacementStore)},
+		promMetric{"episimd_placement_store_gc_bytes_total", "counter", "Bytes reclaimed from the placement store by GC.", storeGCBytes(st.PlacementStore)},
+		promMetric{"episimd_result_store_gc_files_total", "counter", "Result records expired by the TTL disk GC.", storeGCFiles(st.ResultStore)},
+		promMetric{"episimd_result_store_gc_bytes_total", "counter", "Bytes reclaimed from the result store by GC.", storeGCBytes(st.ResultStore)},
+	)
+	for _, m := range metrics {
+		writePromMetric(w, m)
+	}
+	obs.WriteHistogramsProm(w, st.Histograms)
 }
 
 // storeFiles/storeBytes render optional store stats as gauges (0 when

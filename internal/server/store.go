@@ -16,7 +16,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,6 +25,7 @@ import (
 	episim "repro"
 	"repro/client"
 	"repro/internal/artifact"
+	"repro/internal/obs"
 )
 
 // job is one submitted sweep and its full lifecycle state. All fields
@@ -47,6 +47,11 @@ type job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	// traceID correlates the job across log lines, headers and the trace
+	// endpoint; trace is its span timeline (nil for rehydrated jobs —
+	// spans are in-memory only, the id survives via the job record).
+	traceID string
+	trace   *obs.Timeline
 	// resultJSON is the result's canonical serialization, materialized
 	// once at finish: it is what GET /result serves and what spills to
 	// disk, so the bytes a client sees are identical before and after a
@@ -107,10 +112,14 @@ type store struct {
 	retain  int
 	ttl     time.Duration
 	evicted int64
+
+	// log is the owning server's logger (set after construction; a
+	// default keeps bare newStore() tests working).
+	log *obs.Logger
 }
 
 func newStore() *store {
-	return &store{jobs: map[string]*job{}, now: time.Now}
+	return &store{jobs: map[string]*job{}, now: time.Now, log: defaultLogger()}
 }
 
 // newDurableStore builds a store spilling finished jobs to disk, then
@@ -148,7 +157,7 @@ func jobSeq(id string) (int, bool) {
 func (s *store) restore() {
 	keys, err := s.results.Keys()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "episimd: restore: %v\n", err)
+		s.log.Error("restore failed", "err", err)
 		return
 	}
 	type restored struct {
@@ -216,6 +225,7 @@ func (s *store) loadArchived(id string) *job {
 		cells:      st.Cells,
 		cellsDone:  st.CellsDone,
 		created:    st.Created,
+		traceID:    st.TraceID,
 		archived:   true,
 		hasResult:  len(result) > 0,
 		resultJSON: result,
@@ -244,8 +254,8 @@ func terminalEventType(st client.JobState) string {
 }
 
 // add registers a new queued job for spec (already normalized and
-// validated) and returns it.
-func (s *store) add(spec *episim.SweepSpec) *job {
+// validated) and returns it, stamped with its trace id and timeline.
+func (s *store) add(spec *episim.SweepSpec, traceID string, trace *obs.Timeline) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -269,6 +279,8 @@ func (s *store) add(spec *episim.SweepSpec) *job {
 		state:      client.StateQueued,
 		cells:      len(spec.Cells()),
 		created:    s.now(),
+		traceID:    traceID,
+		trace:      trace,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -309,6 +321,7 @@ func (s *store) statusLocked(j *job) client.JobStatus {
 		CellsDone:  j.cellsDone,
 		Replicates: j.replicates,
 		Created:    j.created,
+		TraceID:    j.traceID,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -440,7 +453,11 @@ func (s *store) finish(j *job, state client.JobState, errMsg string, res *episim
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 
-	s.persist(st, raw)
+	if s.results != nil {
+		persistStart := time.Now()
+		s.persist(st, raw)
+		j.trace.Add("result_persist", "", persistStart, time.Now())
+	}
 	s.mu.Lock()
 	s.evictLocked()
 	s.mu.Unlock()
@@ -459,7 +476,7 @@ func (s *store) persist(st client.JobStatus, raw []byte) {
 		err = s.results.Put(artifact.KindJob, st.ID, payload)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "episimd: persist %s: %v\n", st.ID, err)
+		s.log.Error("persist failed", "job", st.ID, "trace", st.TraceID, "err", err)
 	}
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# promlint.sh — basic well-formedness lint for Prometheus text exposition.
+#
+# Usage: scripts/promlint.sh metrics.txt [more.txt ...]
+#
+# Checks, per file:
+#   - every sample line parses as `name{labels} value`
+#   - every series has a preceding # HELP and # TYPE block
+#   - TYPE values are legal (counter|gauge|histogram|summary|untyped)
+#   - counters (and histogram samples) are never negative
+#   - histogram buckets are cumulative (non-decreasing in le order) and
+#     the +Inf bucket equals the family's _count
+#
+# No dependencies beyond awk — CI runs it against both the daemon's and
+# the gateway's /metrics scrape after the smoke sweep.
+set -eu
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: $0 metrics.txt [more.txt ...]" >&2
+    exit 2
+fi
+
+status=0
+for f in "$@"; do
+    if ! awk '
+        /^# HELP / { help[$3] = 1; next }
+        /^# TYPE / {
+            type[$3] = $4
+            if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/) {
+                printf "  bad TYPE %s for %s\n", $4, $3; bad = 1
+            }
+            next
+        }
+        /^#/ { next }
+        /^[[:space:]]*$/ { next }
+        {
+            if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$/) {
+                printf "  malformed sample line: %s\n", $0; bad = 1; next
+            }
+            name = $1; sub(/\{.*/, "", name)
+            base = name
+            sub(/_(bucket|sum|count)$/, "", base)
+            hist = (base in type && type[base] == "histogram")
+            if (!(name in type) && !hist) {
+                printf "  series %s has no # TYPE\n", name; bad = 1
+            }
+            if (!(name in help) && !(base in help)) {
+                printf "  series %s has no # HELP\n", name; bad = 1
+            }
+            if ($2 + 0 < 0 && (type[name] == "counter" || hist)) {
+                printf "  negative counter sample: %s\n", $0; bad = 1
+            }
+            if (name ~ /_bucket$/ && hist) {
+                grp = $1
+                sub(/,?le="[^"]*"/, "", grp)
+                sub(/\{\}/, "", grp)
+                if (grp in lastv && $2 + 0 < lastv[grp]) {
+                    printf "  non-cumulative bucket: %s\n", $0; bad = 1
+                }
+                lastv[grp] = $2 + 0
+                if ($1 ~ /le="\+Inf"/) inf[grp] = $2 + 0
+            }
+            if (name ~ /_count$/ && hist) {
+                grp = $1
+                sub(/_count/, "_bucket", grp)
+                sub(/\{\}/, "", grp)
+                cnt[grp] = $2 + 0
+            }
+        }
+        END {
+            for (g in cnt) {
+                if (!(g in inf)) {
+                    printf "  histogram %s has no +Inf bucket\n", g; bad = 1
+                } else if (inf[g] != cnt[g]) {
+                    printf "  histogram %s: +Inf bucket %g != _count %g\n", g, inf[g], cnt[g]; bad = 1
+                }
+            }
+            exit bad
+        }
+    ' "$f"; then
+        echo "promlint: $f FAILED" >&2
+        status=1
+    else
+        echo "promlint: $f ok"
+    fi
+done
+exit $status

@@ -8,8 +8,18 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/ensemble"
+	"repro/internal/obs"
 	"repro/internal/synthpop"
 )
+
+// SweepTrace is a per-run span timeline (see SweepOptions.Trace); a
+// server allocates one per submitted job and serves its snapshot on
+// GET /v1/sweeps/{id}/trace. The zero value is unusable; nil is a
+// valid "tracing off" value everywhere one is accepted.
+type SweepTrace = obs.Timeline
+
+// NewSweepTrace builds a timeline stamped with traceID.
+func NewSweepTrace(traceID string) *SweepTrace { return obs.NewTimeline(traceID) }
 
 // Re-exported sweep types: a SweepSpec declares grids over populations,
 // placements, disease models and intervention scenarios with N seeded
@@ -115,6 +125,11 @@ type SweepOptions struct {
 	// Slots, when non-nil, bounds this run's simulation work jointly
 	// with every other run sharing the pool.
 	Slots *SweepSlots
+	// Trace, when non-nil, records the run's stage spans (population/
+	// placement builds, per-replicate simulations, per-cell aggregation)
+	// into the given timeline — the substance of the service's
+	// GET /v1/sweeps/{id}/trace endpoint.
+	Trace *SweepTrace
 }
 
 // resolveSweepOptions turns public options into executor options,
@@ -139,6 +154,7 @@ func resolveSweepOptions(opts *SweepOptions) (*ensemble.RunOptions, error) {
 		PredictCost:     predictCellCost(cache),
 		OnCell:          opts.OnCell,
 		Slots:           opts.Slots,
+		Trace:           opts.Trace,
 	}, nil
 }
 
