@@ -1,0 +1,205 @@
+// Command episim-bench runs the scaling-matrix bench harness and gates
+// regressions between runs.
+//
+// Run mode executes a declarative matrix over population scale ×
+// placement strategy × ranks × scenario count × cache state — every
+// cell in-process through the real sweep engine, with a per-config
+// timeout, wall-clock timing, peak-RSS sampling, allocator deltas and a
+// span-derived component breakdown — and emits a schema-versioned
+// BENCH_matrix.json:
+//
+//	episim-bench -out BENCH_matrix.json                  # default "matrix" preset
+//	episim-bench -preset sweep -out BENCH_sweep_cells.json
+//	episim-bench -spec matrix.json -cell-timeout 90s
+//
+// Compare mode diffs two reports cell by cell inside a noise band and
+// exits non-zero on any regression (or silently-vanished cell), which
+// is what lets CI gate a PR on measured numbers:
+//
+//	episim-bench -compare old.json new.json -noise 15%
+//	episim-bench -compare old.json new.json -noise 10% -rss-noise 30%
+//
+// Wall clock always gates; peak RSS gates only when -rss-noise is set
+// and both reports measured RSS from the same source (true /proc RSS is
+// never compared against the Go-heap fallback). Run mode exits 1 when
+// any cell errors or times out; compare mode exits 1 when the gate
+// trips. Progress goes to stderr, artifacts to -out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/benchmatrix"
+)
+
+func main() {
+	var (
+		preset     = flag.String("preset", "matrix", "built-in matrix (matrix | sweep); ignored with -spec")
+		specPath   = flag.String("spec", "", "matrix spec JSON file (\"-\" = stdin)")
+		outPath    = flag.String("out", "BENCH_matrix.json", "write the report here (\"-\" = stdout)")
+		timeout    = flag.Duration("cell-timeout", 0, "override the per-cell timeout (0 = spec value)")
+		sampleIval = flag.Duration("sample-interval", 0, "RSS sampling period (0 = 10ms)")
+		example    = flag.Bool("example", false, "print the selected preset as an editable spec and exit")
+
+		comparePath = flag.String("compare", "", "old report: with a NEW report as the positional argument, diff instead of run")
+		noiseFlag   = flag.String("noise", "15%", "wall-clock noise band for -compare (\"15%\" or \"0.15\")")
+		rssNoise    = flag.String("rss-noise", "0", "peak-RSS noise band for -compare (0 disables RSS gating)")
+	)
+	flag.Parse()
+
+	if *comparePath != "" {
+		os.Exit(runCompare(*comparePath, flag.Arg(0), *noiseFlag, *rssNoise))
+	}
+
+	spec, err := loadSpec(*specPath, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *timeout > 0 {
+		spec.CellTimeout = benchmatrix.Duration(*timeout)
+	}
+	if *example {
+		if err := writeSpec(os.Stdout, spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cells := len(spec.Cells())
+	fmt.Fprintf(os.Stderr, "episim-bench: matrix %q, %d cells, per-cell timeout %s\n",
+		spec.Name, cells, time.Duration(spec.CellTimeout))
+	start := time.Now()
+	rep, err := benchmatrix.Run(ctx, spec, &benchmatrix.RunnerOptions{
+		SampleInterval: *sampleIval,
+		Progress:       os.Stderr,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "episim-bench: interrupted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	rep.TimestampUTC = time.Now().UTC().Format(time.RFC3339)
+	rep.Commit = gitCommit()
+	fmt.Fprintf(os.Stderr, "episim-bench: %d cells in %.1fs\n", cells, time.Since(start).Seconds())
+
+	if err := writeReport(*outPath, rep); err != nil {
+		fatal(err)
+	}
+	if rep.Failed() {
+		for _, c := range rep.Cells {
+			if c.Error != "" || c.TimedOut {
+				fmt.Fprintf(os.Stderr, "episim-bench: FAILED cell %s: timed_out=%v %s\n", c.ID, c.TimedOut, c.Error)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func runCompare(oldPath, newPath, noiseFlag, rssFlag string) int {
+	if newPath == "" {
+		fatal(errors.New("usage: episim-bench -compare OLD.json NEW.json [-noise 15%]"))
+	}
+	noise, err := benchmatrix.ParseNoise(noiseFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rss, err := benchmatrix.ParseNoise(rssFlag)
+	if err != nil {
+		fatal(err)
+	}
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		fatal(fmt.Errorf("old report: %w", err))
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		fatal(fmt.Errorf("new report: %w", err))
+	}
+	res, err := benchmatrix.Compare(oldR, newR, noise, rss)
+	if err != nil {
+		fatal(err)
+	}
+	res.WriteTable(os.Stdout)
+	if res.Failed() {
+		fmt.Fprintln(os.Stderr, "episim-bench: regression gate FAILED")
+		return 1
+	}
+	return 0
+}
+
+func loadSpec(specPath, preset string) (*benchmatrix.Spec, error) {
+	if specPath == "" {
+		return benchmatrix.Preset(preset)
+	}
+	var r io.Reader = os.Stdin
+	if specPath != "-" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return benchmatrix.ParseSpec(r)
+}
+
+func readReport(path string) (*benchmatrix.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchmatrix.ReadReport(f)
+}
+
+func writeReport(path string, rep *benchmatrix.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpec(w io.Writer, spec *benchmatrix.Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// gitCommit stamps provenance best-effort: reports stay valid without a
+// git checkout (e.g. run from an unpacked release artifact).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "episim-bench:", err)
+	os.Exit(2)
+}

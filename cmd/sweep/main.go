@@ -47,6 +47,7 @@ import (
 
 	episim "repro"
 	"repro/client"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -238,29 +239,17 @@ func printTrace(baseURL, id string) error {
 		return err
 	}
 	fmt.Printf("trace %s  job %s  state %s  wall %.3fs\n", tr.TraceID, tr.ID, tr.State, tr.WallSeconds)
-	type rollup struct {
-		count int
-		total float64
-	}
-	var names []string
-	agg := map[string]*rollup{}
-	for _, sp := range tr.Spans {
-		r := agg[sp.Name]
-		if r == nil {
-			r = &rollup{}
-			agg[sp.Name] = r
-			names = append(names, sp.Name)
-		}
-		r.count++
-		r.total += sp.Seconds
-	}
-	for _, n := range names {
+	// One shared rollup path (obs.RollupStages) serves this CLI and the
+	// bench harness's component breakdowns, so the two never disagree on
+	// what a stage's total means.
+	agg := obs.RollupStages(tr.Spans)
+	for _, n := range obs.StageOrder(tr.Spans) {
 		r := agg[n]
 		pct := 0.0
 		if tr.WallSeconds > 0 {
-			pct = 100 * r.total / tr.WallSeconds
+			pct = 100 * r.Seconds / tr.WallSeconds
 		}
-		fmt.Printf("  %-18s ×%-6d %10.3fs  %5.1f%% of wall\n", n, r.count, r.total, pct)
+		fmt.Printf("  %-18s ×%-6d %10.3fs  %5.1f%% of wall\n", n, r.Count, r.Seconds, pct)
 	}
 	if tr.SpansDropped > 0 {
 		fmt.Printf("  (%d spans dropped past the per-job cap; totals above are partial)\n", tr.SpansDropped)

@@ -1,0 +1,203 @@
+package benchmatrix
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Outcome classifies one cell's old→new delta.
+type Outcome string
+
+const (
+	// OutcomeOK: within the noise band.
+	OutcomeOK Outcome = "ok"
+	// OutcomeRegression: slower (or newly broken) beyond the noise band
+	// — gates.
+	OutcomeRegression Outcome = "regression"
+	// OutcomeImprovement: faster beyond the noise band.
+	OutcomeImprovement Outcome = "improvement"
+	// OutcomeMissing: the cell vanished from the new report — coverage
+	// regressed, so it gates too.
+	OutcomeMissing Outcome = "missing"
+	// OutcomeNew: a cell only the new report has; informational.
+	OutcomeNew Outcome = "new"
+	// OutcomeIncomparable: the OLD measurement was broken (error or
+	// timeout), so there is no trustworthy baseline to gate against.
+	OutcomeIncomparable Outcome = "incomparable"
+)
+
+// CellDelta is one compared cell.
+type CellDelta struct {
+	ID      string
+	Outcome Outcome
+	// Reason says what decided the outcome ("wall", "peak_rss",
+	// "timed out", ...).
+	Reason                         string
+	OldWall, NewWall, WallDeltaPct float64
+	OldRSS, NewRSS                 int64
+	RSSDeltaPct                    float64
+}
+
+// CompareResult is a full report diff.
+type CompareResult struct {
+	Noise    float64 // wall-clock noise band, fractional (0.15 = ±15%)
+	RSSNoise float64 // peak-RSS band; 0 disables RSS gating
+	Deltas   []CellDelta
+	Notes    []string
+
+	Regressions, Improvements, Missing, New, Incomparable int
+}
+
+// Failed reports whether the gate should trip: any regression, or any
+// matrix cell that silently disappeared.
+func (c *CompareResult) Failed() bool {
+	return c.Regressions > 0 || c.Missing > 0
+}
+
+// ParseNoise accepts "15%" or "0.15" and returns the fractional band.
+func ParseNoise(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("benchmatrix: bad noise band %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("benchmatrix: noise band %q outside [0%%, 100%%)", s)
+	}
+	return v, nil
+}
+
+// Compare diffs two reports cell by cell inside the noise bands. Cells
+// match by ID; old cells absent from the new report count as Missing
+// (the gate fails — a shrunken matrix must be an explicit spec change,
+// never an accident), new-only cells are informational. A cell whose
+// old measurement was broken is incomparable; a cell newly broken is a
+// regression regardless of band. Identical reports always pass.
+func Compare(oldR, newR *Report, noise, rssNoise float64) (*CompareResult, error) {
+	if oldR.Name != newR.Name {
+		return nil, fmt.Errorf("benchmatrix: comparing different matrices (%q vs %q)", oldR.Name, newR.Name)
+	}
+	res := &CompareResult{Noise: noise, RSSNoise: rssNoise}
+	if oldR.GoVersion != newR.GoVersion || oldR.GOOS != newR.GOOS ||
+		oldR.GOARCH != newR.GOARCH || oldR.NumCPU != newR.NumCPU {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"environment changed (%s %s/%s %dcpu -> %s %s/%s %dcpu); deltas may be machine noise",
+			oldR.GoVersion, oldR.GOOS, oldR.GOARCH, oldR.NumCPU,
+			newR.GoVersion, newR.GOOS, newR.GOARCH, newR.NumCPU))
+	}
+
+	newByID := make(map[string]*CellReport, len(newR.Cells))
+	for i := range newR.Cells {
+		newByID[newR.Cells[i].ID] = &newR.Cells[i]
+	}
+	matched := make(map[string]bool, len(oldR.Cells))
+
+	for i := range oldR.Cells {
+		oc := &oldR.Cells[i]
+		d := CellDelta{ID: oc.ID, OldWall: oc.WallSeconds, OldRSS: oc.PeakRSSBytes}
+		nc, ok := newByID[oc.ID]
+		if !ok {
+			d.Outcome, d.Reason = OutcomeMissing, "cell absent from new report"
+			res.Missing++
+			res.Deltas = append(res.Deltas, d)
+			continue
+		}
+		matched[oc.ID] = true
+		d.NewWall, d.NewRSS = nc.WallSeconds, nc.PeakRSSBytes
+		if oc.WallSeconds > 0 {
+			d.WallDeltaPct = 100 * (nc.WallSeconds - oc.WallSeconds) / oc.WallSeconds
+		}
+		if oc.PeakRSSBytes > 0 {
+			d.RSSDeltaPct = 100 * float64(nc.PeakRSSBytes-oc.PeakRSSBytes) / float64(oc.PeakRSSBytes)
+		}
+
+		switch {
+		case oc.Error != "" || oc.TimedOut:
+			d.Outcome, d.Reason = OutcomeIncomparable, "old measurement broken"
+			res.Incomparable++
+		case nc.TimedOut:
+			d.Outcome, d.Reason = OutcomeRegression, "timed out"
+			res.Regressions++
+		case nc.Error != "":
+			d.Outcome, d.Reason = OutcomeRegression, "errored: "+nc.Error
+			res.Regressions++
+		case oc.WallSeconds > 0 && nc.WallSeconds > oc.WallSeconds*(1+noise):
+			d.Outcome, d.Reason = OutcomeRegression, "wall"
+			res.Regressions++
+		case rssNoise > 0 && oc.RSSSource == nc.RSSSource && oc.PeakRSSBytes > 0 &&
+			float64(nc.PeakRSSBytes) > float64(oc.PeakRSSBytes)*(1+rssNoise):
+			d.Outcome, d.Reason = OutcomeRegression, "peak_rss"
+			res.Regressions++
+		case oc.WallSeconds > 0 && nc.WallSeconds < oc.WallSeconds*(1-noise):
+			d.Outcome, d.Reason = OutcomeImprovement, "wall"
+			res.Improvements++
+		default:
+			d.Outcome = OutcomeOK
+		}
+		if rssNoise > 0 && oc.RSSSource != nc.RSSSource {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s: RSS sources differ (%s vs %s); RSS not gated", oc.ID, oc.RSSSource, nc.RSSSource))
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	for i := range newR.Cells {
+		nc := &newR.Cells[i]
+		if matched[nc.ID] {
+			continue
+		}
+		res.New++
+		res.Deltas = append(res.Deltas, CellDelta{
+			ID: nc.ID, Outcome: OutcomeNew, Reason: "cell new in this report",
+			NewWall: nc.WallSeconds, NewRSS: nc.PeakRSSBytes,
+		})
+	}
+	return res, nil
+}
+
+// WriteTable renders the per-cell delta table plus a verdict summary.
+func (c *CompareResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-48s %10s %10s %8s %8s  %s\n",
+		"cell", "old (s)", "new (s)", "wall Δ", "rss Δ", "verdict")
+	for _, d := range c.Deltas {
+		wallOld, wallNew := fmtSecs(d.OldWall), fmtSecs(d.NewWall)
+		verdict := string(d.Outcome)
+		if d.Reason != "" && d.Outcome != OutcomeOK {
+			verdict += " (" + d.Reason + ")"
+		}
+		switch d.Outcome {
+		case OutcomeMissing:
+			wallNew = "-"
+		case OutcomeNew:
+			wallOld = "-"
+		}
+		fmt.Fprintf(w, "%-48s %10s %10s %8s %8s  %s\n",
+			d.ID, wallOld, wallNew, fmtPct(d.WallDeltaPct, d.Outcome), fmtPct(d.RSSDeltaPct, d.Outcome), verdict)
+	}
+	for _, n := range c.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintf(w, "summary: %d regressed, %d improved, %d within ±%.0f%%, %d missing, %d new, %d incomparable\n",
+		c.Regressions, c.Improvements,
+		len(c.Deltas)-c.Regressions-c.Improvements-c.Missing-c.New-c.Incomparable,
+		100*c.Noise, c.Missing, c.New, c.Incomparable)
+}
+
+func fmtSecs(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+func fmtPct(v float64, o Outcome) string {
+	if o == OutcomeMissing || o == OutcomeNew {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}

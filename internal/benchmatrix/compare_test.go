@@ -1,0 +1,196 @@
+package benchmatrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoCellReport(wallA, wallB float64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Name:          "matrix",
+		GoVersion:     "go1.22",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        8,
+		Cells: []CellReport{
+			{ID: "a|RR x2|scen=1|cold", WallSeconds: wallA, PeakRSSBytes: 100 << 20, RSSSource: "proc_statm", Simulations: 4},
+			{ID: "a|RR x2|scen=1|warm", WallSeconds: wallB, PeakRSSBytes: 90 << 20, RSSSource: "proc_statm", Simulations: 4},
+		},
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	res, err := Compare(old, twoCellReport(1.0, 0.5), 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("identical reports failed the gate: %+v", res)
+	}
+	for _, d := range res.Deltas {
+		if d.Outcome != OutcomeOK {
+			t.Fatalf("identical cell %s -> %s", d.ID, d.Outcome)
+		}
+	}
+}
+
+func TestCompareRegressionBeyondNoise(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	// +20% on cell A with a 15% band: regression. Cell B within band.
+	res, err := Compare(old, twoCellReport(1.2, 0.55), 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.Regressions != 1 {
+		t.Fatalf("want 1 regression, got %+v", res)
+	}
+	if res.Deltas[0].Outcome != OutcomeRegression || res.Deltas[0].Reason != "wall" {
+		t.Fatalf("delta = %+v", res.Deltas[0])
+	}
+	if res.Deltas[1].Outcome != OutcomeOK {
+		t.Fatalf("within-noise cell classified %s", res.Deltas[1].Outcome)
+	}
+}
+
+func TestCompareImprovementWithinAndBeyondNoise(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	// -30% on A: improvement. -10% on B: within the 15% band.
+	res, err := Compare(old, twoCellReport(0.7, 0.45), 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("improvements must not fail the gate: %+v", res)
+	}
+	if res.Improvements != 1 || res.Deltas[0].Outcome != OutcomeImprovement {
+		t.Fatalf("want 1 improvement, got %+v", res)
+	}
+	if res.Deltas[1].Outcome != OutcomeOK {
+		t.Fatalf("within-noise improvement classified %s", res.Deltas[1].Outcome)
+	}
+}
+
+func TestCompareMissingCellFails(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	newR := twoCellReport(1.0, 0.5)
+	newR.Cells = newR.Cells[:1] // warm cell vanished
+	res, err := Compare(old, newR, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.Missing != 1 {
+		t.Fatalf("missing cell did not gate: %+v", res)
+	}
+	// And the reverse: an extra new cell is informational only.
+	res2, err := Compare(newR, old, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failed() || res2.New != 1 {
+		t.Fatalf("new cell misclassified: %+v", res2)
+	}
+}
+
+func TestCompareBrokenCells(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	timedOut := twoCellReport(1.0, 0.5)
+	timedOut.Cells[0].TimedOut = true
+	// Newly timed out: regression regardless of wall numbers.
+	res, err := Compare(old, timedOut, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.Deltas[0].Outcome != OutcomeRegression {
+		t.Fatalf("timeout not gated: %+v", res.Deltas[0])
+	}
+	// Broken baseline: incomparable, not a pass/fail signal.
+	res2, err := Compare(timedOut, old, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failed() || res2.Incomparable != 1 {
+		t.Fatalf("broken baseline misclassified: %+v", res2)
+	}
+}
+
+func TestCompareRSSGate(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	bloated := twoCellReport(1.0, 0.5)
+	bloated.Cells[0].PeakRSSBytes = 200 << 20 // 2x
+	// RSS gating off by default band 0.
+	res, err := Compare(old, bloated, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatal("rss gated with band disabled")
+	}
+	// Enabled: 2x beyond a 30% band fails with reason peak_rss.
+	res, err = Compare(old, bloated, 0.15, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.Deltas[0].Reason != "peak_rss" {
+		t.Fatalf("rss regression not gated: %+v", res.Deltas[0])
+	}
+	// Differing sources: never gated, noted instead.
+	bloated.Cells[0].RSSSource = "go_heap_sys"
+	res, err = Compare(old, bloated, 0.15, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() || len(res.Notes) == 0 {
+		t.Fatalf("cross-source rss handled wrong: %+v", res)
+	}
+}
+
+func TestCompareRefusesDifferentMatrices(t *testing.T) {
+	old := twoCellReport(1, 1)
+	other := twoCellReport(1, 1)
+	other.Name = "sweep"
+	if _, err := Compare(old, other, 0.15, 0); err == nil {
+		t.Fatal("cross-matrix compare did not error")
+	}
+}
+
+func TestCompareTableRendering(t *testing.T) {
+	old := twoCellReport(1.0, 0.5)
+	res, err := Compare(old, twoCellReport(1.5, 0.5), 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"regression (wall)", "+50.0%", "summary: 1 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseNoise(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"15%", 0.15, true},
+		{"0.15", 0.15, true},
+		{" 20% ", 0.20, true},
+		{"0", 0, true},
+		{"150%", 0, false},
+		{"-5%", 0, false},
+		{"abc", 0, false},
+	} {
+		got, err := ParseNoise(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseNoise(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("ParseNoise(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

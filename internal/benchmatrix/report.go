@@ -1,0 +1,106 @@
+package benchmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion stamps every report. The comparator refuses to diff
+// across versions: a schema change means cell semantics may have moved,
+// and a silent cross-version diff would gate on noise. Bump it whenever
+// a field changes meaning (adding fields is compatible; removing or
+// redefining them is not).
+const SchemaVersion = 1
+
+// Report is one complete matrix run — the content of BENCH_matrix.json.
+// Field order is the emission order; everything environmental lives in
+// the header so cells stay pure measurements.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+
+	// Provenance: stamped by the CLI, ignored by the comparator (two
+	// runs of the same matrix differ here by construction).
+	Commit       string `json:"commit,omitempty"`
+	TimestampUTC string `json:"timestamp_utc,omitempty"`
+
+	// Environment the numbers were measured in; the comparator prints a
+	// warning when these differ (cross-machine diffs are noise-prone).
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Cells []CellReport `json:"cells"`
+}
+
+// CellReport is one measured matrix cell.
+type CellReport struct {
+	// ID is the cell's stable identity (CellConfig.ID) — the compare key.
+	ID string `json:"id"`
+
+	// Coordinates, denormalized for grep-ability of the artifact.
+	Population string `json:"population"`
+	People     int    `json:"people,omitempty"`
+	Locations  int    `json:"locations,omitempty"`
+	Strategy   string `json:"strategy"`
+	SplitLoc   bool   `json:"splitloc,omitempty"`
+	Ranks      int    `json:"ranks"`
+	Scenarios  int    `json:"scenarios"`
+	CacheState string `json:"cache_state"`
+	Replicates int    `json:"replicates"`
+	Days       int    `json:"days"`
+
+	// Measurements.
+	WallSeconds float64 `json:"wall_seconds"`
+	// TimedOut marks a cell stopped by the per-config timeout;
+	// WallSeconds then reports the time spent before the cut.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Error is a cell that failed outright (no gateable measurement).
+	Error string `json:"error,omitempty"`
+	// Simulations actually executed (replicates × sweep cells).
+	Simulations int `json:"simulations"`
+
+	// Resource accounting: peak process memory over the timed region
+	// (sampled), its source (proc_statm = true RSS, go_heap_sys =
+	// portable fallback), and Go allocator deltas across the cell.
+	PeakRSSBytes int64  `json:"peak_rss_bytes"`
+	RSSSource    string `json:"rss_source"`
+	RSSSamples   int    `json:"rss_samples"`
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	Allocs       uint64 `json:"allocs"`
+
+	// Components is the span-derived breakdown of where the cell's wall
+	// clock went (population_build, placement_build, sim, aggregate,
+	// ...), rolled up from the run's Timeline. Stages overlap with each
+	// other and with worker parallelism, so components sum to CPU-ish
+	// stage seconds, not to WallSeconds.
+	Components map[string]obs.StageTotal `json:"components"`
+}
+
+// WriteJSON emits the report as indented, key-stable JSON (struct order
+// is fixed, map keys are sorted by encoding/json), so two runs of the
+// same matrix differ only where measurements differ.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report and checks its schema version is one this
+// build can interpret.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchmatrix: parse report: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchmatrix: report schema v%d, this build speaks v%d",
+			r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

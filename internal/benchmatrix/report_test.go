@@ -1,0 +1,138 @@
+package benchmatrix
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fully-populated report with fixed fake measurements;
+// the golden file freezes the BENCH_matrix.json schema so an accidental
+// field rename (which would orphan archived baselines) fails a test
+// instead of a future compare run.
+func goldenReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Name:          "matrix",
+		Commit:        "0123456789abcdef",
+		TimestampUTC:  "2026-01-02T03:04:05Z",
+		GoVersion:     "go1.22.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        16,
+		Cells: []CellReport{
+			{
+				ID:         "bench-town-800|RR x2|scen=1|cold",
+				Population: "bench-town-800",
+				People:     800,
+				Locations:  80,
+				Strategy:   "RR",
+				Ranks:      2,
+				Scenarios:  1,
+				CacheState: CacheCold,
+				Replicates: 2,
+				Days:       6,
+
+				WallSeconds:  1.234,
+				Simulations:  2,
+				PeakRSSBytes: 104857600,
+				RSSSource:    obs.MemSourceProc,
+				RSSSamples:   120,
+				AllocBytes:   52428800,
+				Allocs:       90000,
+				Components: map[string]obs.StageTotal{
+					"population_build": {Count: 1, Seconds: 0.2},
+					"placement_build":  {Count: 1, Seconds: 0.4},
+					"sim":              {Count: 2, Seconds: 0.5},
+					"aggregate":        {Count: 1, Seconds: 0.01},
+				},
+			},
+			{
+				ID:         "bench-town-800|GP-splitLoc x2|scen=1|warm",
+				Population: "bench-town-800",
+				People:     800,
+				Locations:  80,
+				Strategy:   "GP",
+				SplitLoc:   true,
+				Ranks:      2,
+				Scenarios:  1,
+				CacheState: CacheWarm,
+				Replicates: 2,
+				Days:       6,
+
+				WallSeconds:  0.456,
+				TimedOut:     true,
+				Error:        "pre-warm pass timed out",
+				Simulations:  0,
+				PeakRSSBytes: 94371840,
+				RSSSource:    obs.MemSourceGoHeap,
+				RSSSamples:   45,
+				Components:   map[string]obs.StageTotal{},
+			},
+		},
+	}
+}
+
+func TestReportGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "BENCH_matrix.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("BENCH_matrix.json schema drifted from golden — if intentional, bump SchemaVersion and run go test -run Golden -update\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// Spot-check the contract keys named by the acceptance criteria.
+	for _, key := range []string{`"schema_version"`, `"wall_seconds"`, `"peak_rss_bytes"`, `"components"`, `"cache_state"`} {
+		if !bytes.Contains(want, []byte(key)) {
+			t.Fatalf("golden missing key %s", key)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := goldenReport()
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(orig)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip drift:\n%s\n%s", a, b)
+	}
+}
+
+func TestReadReportRefusesSchemaMismatch(t *testing.T) {
+	r := goldenReport()
+	r.SchemaVersion = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadReport(&buf)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future-schema report accepted: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package benchmatrix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	episim "repro"
+	"repro/internal/obs"
+)
+
+// RunnerOptions customize a matrix run. The zero value (or nil) runs
+// the real sweep engine with default sampling.
+type RunnerOptions struct {
+	// Run executes one cell's sweep; production is episim.RunSweepContext,
+	// tests substitute a controllable fake (the same seam internal/server
+	// uses for its scheduler).
+	Run func(context.Context, *episim.SweepSpec, *episim.SweepOptions) (*episim.SweepResult, error)
+	// Warm pre-builds a warm cell's placements untimed; production is
+	// episim.WarmSweep.
+	Warm func(context.Context, *episim.SweepSpec, *episim.SweepOptions) (*episim.SweepWarmResult, error)
+	// SampleInterval is the RSS sampling period (≤0 = 10ms).
+	SampleInterval time.Duration
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (o *RunnerOptions) normalize() *RunnerOptions {
+	out := &RunnerOptions{}
+	if o != nil {
+		*out = *o
+	}
+	if out.Run == nil {
+		out.Run = episim.RunSweepContext
+	}
+	if out.Warm == nil {
+		out.Warm = episim.WarmSweep
+	}
+	return out
+}
+
+// Run executes every cell of the matrix sequentially (cells must not
+// contend with each other for cores — parallel cells would time each
+// other's scheduling noise) and returns the measured report. The error
+// is non-nil only for an invalid spec or a canceled parent context;
+// per-cell failures and timeouts are recorded IN the report, so one
+// pathological configuration cannot void the other cells' measurements.
+func Run(ctx context.Context, spec *Spec, opts *RunnerOptions) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := opts.normalize()
+	s := *spec
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Name:          s.Name,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+	}
+	for _, cell := range s.Cells() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cr := runCell(ctx, &s, cell, o)
+		rep.Cells = append(rep.Cells, cr)
+		if o.Progress != nil {
+			status := fmt.Sprintf("%.3fs", cr.WallSeconds)
+			switch {
+			case cr.TimedOut:
+				status = "TIMEOUT after " + status
+			case cr.Error != "":
+				status = "ERROR: " + cr.Error
+			}
+			fmt.Fprintf(o.Progress, "cell %-48s %s  (peak %s, %d sims)\n",
+				cr.ID, status, formatBytes(cr.PeakRSSBytes), cr.Simulations)
+		}
+	}
+	return rep, nil
+}
+
+// runCell measures one cell: optional untimed warm pass, then the timed
+// run bracketed by allocator stats and a background RSS sampler.
+func runCell(ctx context.Context, s *Spec, cell CellConfig, o *RunnerOptions) CellReport {
+	cr := CellReport{
+		ID:         cell.ID(),
+		Population: cell.Population.Label(),
+		People:     cell.Population.People,
+		Locations:  cell.Population.Locations,
+		Strategy:   strings.ToUpper(cell.Strategy.Strategy),
+		SplitLoc:   cell.Strategy.SplitLoc,
+		Ranks:      cell.Ranks,
+		Scenarios:  cell.Scenarios,
+		CacheState: cell.CacheState,
+		Replicates: s.Replicates,
+		Days:       s.Days,
+		Components: map[string]obs.StageTotal{},
+	}
+	sw := s.SweepSpec(cell)
+	timeout := time.Duration(s.CellTimeout)
+
+	// Every cell gets a private cache: cold cells must pay their builds,
+	// and warm cells must not leak their placements into a later cold
+	// cell of the same shape.
+	cache := episim.NewSweepCache(0)
+	if cell.CacheState == CacheWarm {
+		warmCtx, cancel := context.WithTimeout(ctx, timeout)
+		_, err := o.Warm(warmCtx, sw, &episim.SweepOptions{Cache: cache})
+		cancel()
+		if err != nil {
+			if warmCtx.Err() != nil && ctx.Err() == nil {
+				cr.TimedOut = true
+				cr.Error = "pre-warm pass timed out"
+			} else {
+				cr.Error = "pre-warm pass: " + err.Error()
+			}
+			return cr
+		}
+	}
+
+	// Settle the allocator so the cell measures its own allocations and
+	// its own peak, not the previous cell's garbage awaiting collection.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	tl := obs.NewTimeline(cr.ID)
+	sampler := obs.StartResourceSampler(o.SampleInterval)
+	runCtx, cancel := context.WithTimeout(ctx, timeout)
+	start := time.Now()
+	res, err := o.Run(runCtx, sw, &episim.SweepOptions{Cache: cache, Trace: tl})
+	cr.WallSeconds = time.Since(start).Seconds()
+	cancel()
+	peak := sampler.Stop()
+	runtime.ReadMemStats(&after)
+
+	cr.PeakRSSBytes = peak.PeakBytes
+	cr.RSSSource = peak.Source
+	cr.RSSSamples = peak.Samples
+	cr.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	cr.Allocs = after.Mallocs - before.Mallocs
+
+	spans, _ := tl.Snapshot()
+	cr.Components = obs.RollupStages(spans)
+	if res != nil {
+		cr.Simulations = res.Simulations
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			cr.TimedOut = true
+		} else {
+			cr.Error = err.Error()
+		}
+	}
+	return cr
+}
+
+// Failed reports whether any cell errored or timed out — the harness's
+// own exit gate, separate from the comparator's regression gate.
+func (r *Report) Failed() bool {
+	for _, c := range r.Cells {
+		if c.Error != "" || c.TimedOut {
+			return true
+		}
+	}
+	return false
+}
+
+// formatBytes renders a byte count for progress lines ("312.4MB").
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,171 @@
+package benchmatrix
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	episim "repro"
+	"repro/internal/ensemble"
+)
+
+// stubSpec is a 1×1×1×1 matrix with cold+warm: two cells.
+func stubSpec(timeout time.Duration) *Spec {
+	return &Spec{
+		Name:        "stub",
+		Populations: []ensemble.PopulationSpec{{Name: "tiny", People: 50, Locations: 5}},
+		Strategies:  []StrategyAxis{{Strategy: "RR"}},
+		Ranks:       []int{2},
+		CacheStates: []string{CacheCold, CacheWarm},
+		Replicates:  1,
+		Days:        2,
+		CellTimeout: Duration(timeout),
+	}
+}
+
+func TestRunStubbedMatrix(t *testing.T) {
+	var runs, warms int
+	opts := &RunnerOptions{
+		Run: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepResult, error) {
+			runs++
+			if o.Cache == nil {
+				t.Error("cell ran without a private cache")
+			}
+			if o.Trace != nil {
+				now := time.Now()
+				o.Trace.Add("sim", "", now.Add(-10*time.Millisecond), now)
+			}
+			return &episim.SweepResult{Simulations: 3}, nil
+		},
+		Warm: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepWarmResult, error) {
+			warms++
+			return &episim.SweepWarmResult{}, nil
+		},
+	}
+	spec := stubSpec(time.Second)
+	rep, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || warms != 1 {
+		t.Fatalf("runs=%d warms=%d, want 2 timed runs and 1 warm pass", runs, warms)
+	}
+	if rep.Failed() {
+		t.Fatalf("stub matrix failed: %+v", rep.Cells)
+	}
+	norm := *spec
+	norm.Normalize()
+	cells := norm.Cells()
+	if len(rep.Cells) != len(cells) {
+		t.Fatalf("reported %d cells, spec has %d", len(rep.Cells), len(cells))
+	}
+	for i, cr := range rep.Cells {
+		if cr.ID != cells[i].ID() {
+			t.Fatalf("cell %d id %q, spec order says %q", i, cr.ID, cells[i].ID())
+		}
+		if cr.WallSeconds <= 0 {
+			t.Fatalf("cell %s wall %v", cr.ID, cr.WallSeconds)
+		}
+		if cr.Simulations != 3 {
+			t.Fatalf("cell %s simulations %d", cr.ID, cr.Simulations)
+		}
+		if st, ok := cr.Components["sim"]; !ok || st.Count != 1 || st.Seconds <= 0 {
+			t.Fatalf("cell %s components %+v missing sim span", cr.ID, cr.Components)
+		}
+		if cr.PeakRSSBytes <= 0 || cr.RSSSource == "" {
+			t.Fatalf("cell %s peak %d source %q", cr.ID, cr.PeakRSSBytes, cr.RSSSource)
+		}
+	}
+}
+
+func TestRunCellTimeout(t *testing.T) {
+	opts := &RunnerOptions{
+		Run: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepResult, error) {
+			<-ctx.Done() // deliberately slow cell: never finishes on its own
+			return nil, ctx.Err()
+		},
+		Warm: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepWarmResult, error) {
+			return &episim.SweepWarmResult{}, nil
+		},
+	}
+	spec := stubSpec(50 * time.Millisecond)
+	spec.CacheStates = []string{CacheCold}
+	rep, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("got %d cells", len(rep.Cells))
+	}
+	cr := rep.Cells[0]
+	if !cr.TimedOut {
+		t.Fatalf("slow cell not marked timed out: %+v", cr)
+	}
+	if cr.WallSeconds < 0.045 {
+		t.Fatalf("timed-out cell wall %.3fs, want ≈ the 50ms budget", cr.WallSeconds)
+	}
+	if !rep.Failed() {
+		t.Fatal("report with a timed-out cell must fail")
+	}
+}
+
+func TestRunParentCancelStopsMatrix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := &RunnerOptions{
+		Run: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepResult, error) {
+			cancel() // parent dies mid-cell
+			return nil, ctx.Err()
+		},
+		Warm: func(ctx context.Context, sw *episim.SweepSpec, o *episim.SweepOptions) (*episim.SweepWarmResult, error) {
+			return &episim.SweepWarmResult{}, nil
+		},
+	}
+	if _, err := Run(ctx, stubSpec(time.Second), opts); err == nil {
+		t.Fatal("canceled parent context did not abort the matrix")
+	}
+}
+
+// TestRunRealEngineTiny drives one minuscule cold/warm pair through the
+// real sweep engine end to end: the measurements the artifact promises
+// (wall, peak RSS, span-derived components) must all be present.
+func TestRunRealEngineTiny(t *testing.T) {
+	spec := &Spec{
+		Name:        "tiny-real",
+		Populations: []ensemble.PopulationSpec{{Name: "micro-town", People: 60, Locations: 6}},
+		Strategies:  []StrategyAxis{{Strategy: "RR"}},
+		Ranks:       []int{2},
+		CacheStates: []string{CacheCold, CacheWarm},
+		Replicates:  1,
+		Days:        2,
+		CellTimeout: Duration(60 * time.Second),
+	}
+	rep, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("tiny real matrix failed: %+v", rep.Cells)
+	}
+	for _, cr := range rep.Cells {
+		if cr.WallSeconds <= 0 || cr.PeakRSSBytes <= 0 || cr.Simulations != 1 {
+			t.Fatalf("cell %s measurements incomplete: %+v", cr.ID, cr)
+		}
+		if _, ok := cr.Components["sim"]; !ok {
+			t.Fatalf("cell %s has no sim component: %+v", cr.ID, cr.Components)
+		}
+	}
+	// The cold cell pays placement_build on the clock; the warm cell's
+	// timed run hits its pre-warmed private cache, so no build span may
+	// appear (instantaneous memory hits are deliberately not traced).
+	cold, warm := rep.Cells[0], rep.Cells[1]
+	if !strings.HasSuffix(cold.ID, "|"+CacheCold) || !strings.HasSuffix(warm.ID, "|"+CacheWarm) {
+		t.Fatalf("unexpected cell order: %s, %s", cold.ID, warm.ID)
+	}
+	if _, ok := cold.Components["placement_build"]; !ok {
+		t.Fatalf("cold cell missing placement_build: %+v", cold.Components)
+	}
+	if _, ok := warm.Components["placement_build"]; ok {
+		t.Fatalf("warm cell rebuilt its placement on the clock: %+v", warm.Components)
+	}
+}

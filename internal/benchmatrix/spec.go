@@ -1,0 +1,311 @@
+// Package benchmatrix is the scaling-matrix bench harness: it executes
+// a declarative matrix over population scale × placement strategy ×
+// ranks × scenario count × cache state, timing every cell in-process
+// through the real sweep engine with a per-config timeout, peak-RSS
+// sampling and a span-derived component breakdown, and emits a stable,
+// schema-versioned BENCH_matrix.json. A comparator diffs two reports
+// cell by cell inside a noise band, which is what lets CI fail a PR on
+// a measured regression instead of trusting an assertion — the
+// exhaustive axis-by-axis measurement discipline of the paper's
+// scaling study, applied to the repro itself.
+//
+// The package mirrors internal/server's layering: it imports the root
+// episim package (never the reverse), so the matrix exercises exactly
+// the code path every CLI and daemon serves.
+package benchmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/ensemble"
+)
+
+// Duration is a time.Duration that marshals as a parseable string
+// ("90s"), so matrix spec files stay human-editable.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("benchmatrix: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// StrategyAxis is one placement-strategy point of the matrix; ranks are
+// a separate axis so strategy × ranks is a full cross product.
+type StrategyAxis struct {
+	Strategy string `json:"strategy"`
+	SplitLoc bool   `json:"splitloc,omitempty"`
+}
+
+// Label is the paper-style strategy label ("GP-splitLoc").
+func (s StrategyAxis) Label() string {
+	l := strings.ToUpper(s.Strategy)
+	if s.SplitLoc {
+		l += "-splitLoc"
+	}
+	return l
+}
+
+// Cache states of the matrix's cache axis. A cold cell runs against a
+// fresh cache (placement builds on the clock); a warm cell pre-warms a
+// private cache untimed, then times the same sweep against it — the
+// difference is exactly what the content-keyed cache buys.
+const (
+	CacheCold = "cold"
+	CacheWarm = "warm"
+)
+
+// Spec declares the bench matrix: five axes crossed into cells, plus
+// the per-cell sweep shape shared by all of them.
+type Spec struct {
+	// Name tags the report; compare refuses to diff differently-named
+	// matrices (their cells are not the same experiment).
+	Name string `json:"name"`
+
+	// Populations is the population-scale axis (reusing the sweep spec's
+	// population naming: custom Name/People/Locations or State/Scale).
+	Populations []ensemble.PopulationSpec `json:"populations"`
+	// Strategies × Ranks form the placement axes.
+	Strategies []StrategyAxis `json:"strategies"`
+	Ranks      []int          `json:"ranks"`
+	// ScenarioCounts is the scenario-axis: each value n runs a sweep
+	// with n baseline scenarios, scaling the cell count of the sweep
+	// grid itself.
+	ScenarioCounts []int `json:"scenario_counts"`
+	// CacheStates is any subset of {cold, warm}.
+	CacheStates []string `json:"cache_states"`
+
+	// Per-cell sweep shape.
+	Replicates int    `json:"replicates"`
+	Days       int    `json:"days"`
+	Seed       uint64 `json:"seed"`
+	// Workers bounds each cell's sweep concurrency (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	// CellTimeout bounds every cell's timed run (and a warm cell's
+	// untimed pre-warm pass separately), so one pathological
+	// configuration cannot hang the whole matrix.
+	CellTimeout Duration `json:"cell_timeout"`
+}
+
+// Normalize fills defaulted fields in place.
+func (s *Spec) Normalize() {
+	if s.Name == "" {
+		s.Name = "matrix"
+	}
+	if len(s.ScenarioCounts) == 0 {
+		s.ScenarioCounts = []int{1}
+	}
+	if len(s.CacheStates) == 0 {
+		s.CacheStates = []string{CacheCold, CacheWarm}
+	}
+	if s.Replicates <= 0 {
+		s.Replicates = 1
+	}
+	if s.Days <= 0 {
+		s.Days = 8
+	}
+	if s.Seed == 0 {
+		s.Seed = 7
+	}
+	if s.CellTimeout <= 0 {
+		s.CellTimeout = Duration(120 * time.Second)
+	}
+}
+
+// Validate checks the axes; it leans on the sweep spec's own validation
+// for population fields by round-tripping one probe spec per cell shape
+// at run time, so here only the matrix-level invariants are enforced.
+func (s *Spec) Validate() error {
+	if len(s.Populations) == 0 {
+		return fmt.Errorf("benchmatrix: no populations")
+	}
+	if len(s.Strategies) == 0 {
+		return fmt.Errorf("benchmatrix: no strategies")
+	}
+	if len(s.Ranks) == 0 {
+		return fmt.Errorf("benchmatrix: no ranks")
+	}
+	for _, st := range s.Strategies {
+		switch strings.ToUpper(st.Strategy) {
+		case "RR", "GP":
+		default:
+			return fmt.Errorf("benchmatrix: unknown strategy %q (want RR or GP)", st.Strategy)
+		}
+	}
+	for _, r := range s.Ranks {
+		if r < 1 {
+			return fmt.Errorf("benchmatrix: ranks %d < 1", r)
+		}
+	}
+	for _, n := range s.ScenarioCounts {
+		if n < 1 {
+			return fmt.Errorf("benchmatrix: scenario count %d < 1", n)
+		}
+	}
+	for _, cs := range s.CacheStates {
+		if cs != CacheCold && cs != CacheWarm {
+			return fmt.Errorf("benchmatrix: unknown cache state %q (want %s or %s)", cs, CacheCold, CacheWarm)
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a matrix spec from JSON, rejecting
+// unknown fields so a typo in an axis name fails loudly.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchmatrix: parse spec: %w", err)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// CellConfig is one fully-resolved matrix cell: the coordinates along
+// every axis. IDs are pure functions of the coordinates, so two runs of
+// the same spec always produce matchable cells.
+type CellConfig struct {
+	Population ensemble.PopulationSpec
+	Strategy   StrategyAxis
+	Ranks      int
+	Scenarios  int
+	CacheState string
+}
+
+// ID is the cell's stable identity in reports and compare tables.
+func (c CellConfig) ID() string {
+	return fmt.Sprintf("%s|%s x%d|scen=%d|%s",
+		c.Population.Label(), c.Strategy.Label(), c.Ranks, c.Scenarios, c.CacheState)
+}
+
+// Cells enumerates the matrix in deterministic axis order: populations
+// outermost, then strategy, ranks, scenario count, cache state — with
+// cold immediately before warm for a given shape, so a report reads as
+// cold/warm pairs.
+func (s *Spec) Cells() []CellConfig {
+	var cells []CellConfig
+	for _, pop := range s.Populations {
+		for _, st := range s.Strategies {
+			for _, r := range s.Ranks {
+				for _, n := range s.ScenarioCounts {
+					for _, cs := range s.CacheStates {
+						cells = append(cells, CellConfig{
+							Population: pop,
+							Strategy:   st,
+							Ranks:      r,
+							Scenarios:  n,
+							CacheState: cs,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// SweepSpec builds the sweep one cell times: a single-population,
+// single-placement grid with the cell's scenario count, sharing the
+// matrix-wide replicate/day/seed shape. Scenario names are stable so
+// the sweep's content keys (and therefore replicate seeds) never vary
+// between runs of the same matrix.
+func (s *Spec) SweepSpec(c CellConfig) *ensemble.Spec {
+	scenarios := make([]ensemble.ScenarioSpec, c.Scenarios)
+	for i := range scenarios {
+		scenarios[i] = ensemble.ScenarioSpec{Name: fmt.Sprintf("s%02d", i)}
+	}
+	sw := &ensemble.Spec{
+		Populations: []ensemble.PopulationSpec{c.Population},
+		Placements: []ensemble.PlacementSpec{{
+			Strategy: c.Strategy.Strategy,
+			SplitLoc: c.Strategy.SplitLoc,
+			Ranks:    c.Ranks,
+		}},
+		Scenarios:  scenarios,
+		Replicates: s.Replicates,
+		Days:       s.Days,
+		Seed:       s.Seed,
+		Workers:    s.Workers,
+	}
+	sw.Normalize()
+	return sw
+}
+
+// Preset returns a named built-in matrix.
+//
+//   - "matrix" — the default CI scaling matrix: two population scales ×
+//     {RR, GP-splitLoc} × {2, 4} ranks × {1, 2} scenarios × cold/warm =
+//     32 cells, each small enough that the whole matrix stays inside a
+//     CI minute-budget while still spanning every axis.
+//   - "sweep" — the historical bench_sweep.sh service sweep (bench-town
+//     2000×200, RR×4 and GP-splitLoc×4, 3 replicates, 10 days, seed 7)
+//     as cold/warm matrix cells, so the per-PR BENCH_sweep.json
+//     trajectory continues on the same timing code path as the matrix.
+func Preset(name string) (*Spec, error) {
+	var s *Spec
+	switch name {
+	case "matrix":
+		s = &Spec{
+			Name: "matrix",
+			Populations: []ensemble.PopulationSpec{
+				{Name: "bench-town-800", People: 800, Locations: 80},
+				{Name: "bench-town-2000", People: 2000, Locations: 200},
+			},
+			Strategies: []StrategyAxis{
+				{Strategy: "RR"},
+				{Strategy: "GP", SplitLoc: true},
+			},
+			Ranks:          []int{2, 4},
+			ScenarioCounts: []int{1, 2},
+			CacheStates:    []string{CacheCold, CacheWarm},
+			Replicates:     2,
+			Days:           6,
+			Seed:           7,
+		}
+	case "sweep":
+		s = &Spec{
+			Name: "sweep",
+			Populations: []ensemble.PopulationSpec{
+				{Name: "bench-town", People: 2000, Locations: 200},
+			},
+			Strategies: []StrategyAxis{
+				{Strategy: "RR"},
+				{Strategy: "GP", SplitLoc: true},
+			},
+			Ranks:          []int{4},
+			ScenarioCounts: []int{1},
+			CacheStates:    []string{CacheCold, CacheWarm},
+			Replicates:     3,
+			Days:           10,
+			Seed:           7,
+		}
+	default:
+		return nil, fmt.Errorf("benchmatrix: unknown preset %q (want matrix or sweep)", name)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,114 @@
+package benchmatrix
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	m, err := Preset("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance floor: the default matrix must span ≥12 cells.
+	if got := len(m.Cells()); got != 32 || got < 12 {
+		t.Fatalf("matrix preset has %d cells, want 32", got)
+	}
+	s, err := Preset("sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Cells()); got != 4 {
+		t.Fatalf("sweep preset has %d cells, want 4", got)
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestCellIDStableAndUnique(t *testing.T) {
+	m, _ := Preset("matrix")
+	seen := map[string]bool{}
+	for _, c := range m.Cells() {
+		id := c.ID()
+		if seen[id] {
+			t.Fatalf("duplicate cell id %q", id)
+		}
+		seen[id] = true
+		if id != c.ID() {
+			t.Fatalf("cell id unstable: %q vs %q", id, c.ID())
+		}
+	}
+	c := m.Cells()[0]
+	want := "bench-town-800|RR x2|scen=1|cold"
+	if c.ID() != want {
+		t.Fatalf("first cell id %q, want %q (IDs are the compare keys — changing their format orphans every archived baseline)", c.ID(), want)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"name":"x","populatons":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("typo'd axis accepted: %v", err)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := `{
+		"name": "custom",
+		"populations": [{"name": "t", "people": 100, "locations": 10}],
+		"strategies": [{"strategy": "GP", "splitloc": true}],
+		"ranks": [8],
+		"scenario_counts": [2],
+		"cache_states": ["cold"],
+		"replicates": 2,
+		"days": 4,
+		"seed": 11,
+		"cell_timeout": "90s"
+	}`
+	s, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(s.CellTimeout) != 90*time.Second {
+		t.Fatalf("cell_timeout %v", time.Duration(s.CellTimeout))
+	}
+	cells := s.Cells()
+	if len(cells) != 1 || cells[0].ID() != "t|GP-splitLoc x8|scen=2|cold" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	sw := s.SweepSpec(cells[0])
+	if len(sw.Scenarios) != 2 || sw.Scenarios[0].Name != "s00" || sw.Scenarios[1].Name != "s01" {
+		t.Fatalf("sweep scenarios %+v", sw.Scenarios)
+	}
+	if len(sw.Placements) != 1 || sw.Placements[0].Ranks != 8 || !sw.Placements[0].SplitLoc {
+		t.Fatalf("sweep placements %+v", sw.Placements)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := func() *Spec {
+		s := stubSpec(time.Second)
+		s.Normalize()
+		return s
+	}
+	for name, breakIt := range map[string]func(*Spec){
+		"no populations":  func(s *Spec) { s.Populations = nil },
+		"no strategies":   func(s *Spec) { s.Strategies = nil },
+		"no ranks":        func(s *Spec) { s.Ranks = nil },
+		"bad strategy":    func(s *Spec) { s.Strategies[0].Strategy = "METIS" },
+		"zero rank":       func(s *Spec) { s.Ranks = []int{0} },
+		"zero scenarios":  func(s *Spec) { s.ScenarioCounts = []int{0} },
+		"bad cache state": func(s *Spec) { s.CacheStates = []string{"lukewarm"} },
+	} {
+		s := base()
+		breakIt(s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%s: validation passed", name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline spec invalid: %v", err)
+	}
+}

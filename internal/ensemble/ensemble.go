@@ -93,6 +93,12 @@ type SweepResult struct {
 	PlacementBuilds  map[string]int `json:"-"`
 	// Simulations is the total number of replicate runs executed.
 	Simulations int `json:"simulations"`
+	// Timeline is the run's span timeline when RunOptions.Trace was set
+	// (nil otherwise) — handed back with the result so embedders (the
+	// bench harness, the daemon) can roll up component breakdowns from
+	// the value they already hold. Execution accounting like the build
+	// maps: never serialized, so cold/warm JSON stays byte-identical.
+	Timeline *obs.Timeline `json:"-"`
 }
 
 // runCounter tracks, for one run, how many builds each requested content
@@ -459,6 +465,7 @@ feed:
 		PopulationBuilds: popCounts.snapshot(),
 		PlacementBuilds:  plCounts.snapshot(),
 		Simulations:      int(sims.Load()),
+		Timeline:         opts.Trace,
 	}
 	var failed []int
 	for ci := range states {

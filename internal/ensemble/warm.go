@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/synthpop"
 )
@@ -125,6 +126,7 @@ func WarmContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions)
 				if popSeed == 0 {
 					popSeed = spec.Seed
 				}
+				popStart := time.Now()
 				popAny, built, err := popCache.get(ctx, popKey, func() (any, error) {
 					return hooks.GeneratePopulation(tk.pop, popSeed)
 				})
@@ -132,8 +134,10 @@ func WarmContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions)
 					setErr(fmt.Errorf("ensemble: population %s: %w", tk.pop.Label(), err))
 					continue
 				}
+				recordCacheSpan(opts.Trace, "population", tk.pop.Label(), popStart, built)
 				popCounts.record(popKey, built)
 				pl := tk.pl
+				plStart := time.Now()
 				_, built, err = plCache.get(ctx, pl.Key(popKey), func() (any, error) {
 					return hooks.BuildPlacement(popAny.(*synthpop.Population), pl, popSeed)
 				})
@@ -141,6 +145,7 @@ func WarmContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions)
 					setErr(fmt.Errorf("ensemble: placement %s: %w", pl.Label(), err))
 					continue
 				}
+				recordCacheSpan(opts.Trace, "placement", pl.Label(), plStart, built)
 				plCounts.record(pl.Key(popKey), built)
 			}
 		}()

@@ -1,16 +1,12 @@
 package obs
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"runtime"
-	"strconv"
-	"strings"
 )
 
 // DebugHandler serves the opt-in profiling surface behind -pprof-addr:
@@ -68,8 +64,16 @@ func WriteRuntimeMetrics(w io.Writer) {
 	writeCounter(w, "go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
 	writeGauge(w, "go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
 	writeGauge(w, "go_memstats_sys_bytes", "Bytes obtained from the OS.", float64(ms.Sys))
-	if rss, ok := residentBytes(); ok {
-		writeGauge(w, "process_resident_memory_bytes", "Resident set size.", rss)
+	if rss, ok := ResidentBytes(); ok {
+		writeGauge(w, "process_resident_memory_bytes", "Resident set size.", float64(rss))
+	} else {
+		// /proc is absent (non-Linux): publish the Go-heap proxy under a
+		// DISTINCT name. HeapSys is not an RSS — impersonating
+		// process_resident_memory_bytes would poison cross-platform
+		// dashboards, while omitting memory entirely blinds them.
+		writeGauge(w, "process_memory_goheap_fallback_bytes",
+			"Go heap reserved from the OS (HeapSys); RSS fallback where /proc is unavailable.",
+			float64(ms.HeapSys))
 	}
 }
 
@@ -81,28 +85,4 @@ func writeGauge(w io.Writer, name, help string, v float64) {
 func writeCounter(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
 		name, help, name, name, formatFloat(v))
-}
-
-// residentBytes reads the process RSS from /proc/self/statm (field 2,
-// pages). ok is false where /proc is unavailable (non-Linux) — the
-// metric is omitted rather than reported as a lying zero.
-func residentBytes() (float64, bool) {
-	f, err := os.Open("/proc/self/statm")
-	if err != nil {
-		return 0, false
-	}
-	defer f.Close()
-	line, err := bufio.NewReader(f).ReadString('\n')
-	if err != nil && line == "" {
-		return 0, false
-	}
-	fields := strings.Fields(line)
-	if len(fields) < 2 {
-		return 0, false
-	}
-	pages, err := strconv.ParseFloat(fields[1], 64)
-	if err != nil {
-		return 0, false
-	}
-	return pages * float64(os.Getpagesize()), true
 }

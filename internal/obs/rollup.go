@@ -1,0 +1,39 @@
+package obs
+
+// StageTotal aggregates every span of one stage name: how many times
+// the stage ran and the total seconds it consumed. Stages overlap (sim
+// spans run under the run span), so totals are per-stage accounting,
+// not a partition of wall clock.
+type StageTotal struct {
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RollupStages reduces a span list to per-stage totals keyed by span
+// name — the component breakdown consumed by the bench harness
+// (placement_build vs sim vs aggregate seconds) and the trace CLI.
+func RollupStages(spans []Span) map[string]StageTotal {
+	out := make(map[string]StageTotal, 8)
+	for _, sp := range spans {
+		st := out[sp.Name]
+		st.Count++
+		st.Seconds += sp.Seconds
+		out[sp.Name] = st
+	}
+	return out
+}
+
+// StageOrder returns the stage names of spans in first-appearance
+// order — the stable presentation order for rollup tables (spans are
+// already start-ordered in a Snapshot, so this is execution order).
+func StageOrder(spans []Span) []string {
+	seen := make(map[string]bool, 8)
+	var names []string
+	for _, sp := range spans {
+		if !seen[sp.Name] {
+			seen[sp.Name] = true
+			names = append(names, sp.Name)
+		}
+	}
+	return names
+}

@@ -77,6 +77,7 @@ type Timeline struct {
 	spans    []Span
 	dropped  int
 	observer func(Span)
+	closed   bool
 }
 
 // NewTimeline builds a timeline stamped with traceID.
@@ -93,8 +94,35 @@ func (t *Timeline) SetObserver(fn func(Span)) {
 		return
 	}
 	t.mu.Lock()
-	t.observer = fn
+	if !t.closed {
+		t.observer = fn
+	}
 	t.mu.Unlock()
+}
+
+// Close detaches the timeline's observer: the job reached a terminal
+// state, so no later span — stragglers from in-flight replicates, or a
+// duplicate cancel path — may feed service histograms again. Spans are
+// still RECORDED after close (a straggler is real work worth seeing in
+// the trace), they just stop being observed. Idempotent and nil-safe.
+func (t *Timeline) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = nil
+	t.closed = true
+	t.mu.Unlock()
+}
+
+// Closed reports whether Close has been called (false for nil).
+func (t *Timeline) Closed() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
 }
 
 // TraceID returns the timeline's trace id ("" for nil).

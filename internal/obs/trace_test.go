@@ -93,6 +93,59 @@ func TestTimelineObserverAndCap(t *testing.T) {
 	}
 }
 
+// TestTimelineClose: closing detaches the observer (and refuses a new
+// one) while spans keep recording — terminal jobs stay traceable
+// without feeding service histograms.
+func TestTimelineClose(t *testing.T) {
+	var nilTL *Timeline
+	nilTL.Close() // nil-safe
+	if nilTL.Closed() {
+		t.Fatal("nil timeline reports closed")
+	}
+
+	tl := NewTimeline("t-close")
+	observed := 0
+	tl.SetObserver(func(Span) { observed++ })
+	now := time.Now()
+	tl.Add("a", "", now, now)
+	tl.Close()
+	tl.Close() // idempotent
+	if !tl.Closed() {
+		t.Fatal("timeline not closed")
+	}
+	tl.Add("b", "", now, now)
+	tl.SetObserver(func(Span) { observed += 100 }) // must not re-arm
+	tl.Add("c", "", now, now)
+	if observed != 1 {
+		t.Fatalf("observer saw %d spans after close, want 1", observed)
+	}
+	if spans, _ := tl.Snapshot(); len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3 (spans still record after close)", len(spans))
+	}
+}
+
+func TestRollupStages(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{Name: "sim", Seconds: 1.5, Start: base},
+		{Name: "placement_build", Seconds: 2, Start: base.Add(time.Second)},
+		{Name: "sim", Seconds: 0.5, Start: base.Add(2 * time.Second)},
+	}
+	agg := RollupStages(spans)
+	if got := agg["sim"]; got.Count != 2 || got.Seconds != 2 {
+		t.Fatalf("sim rollup = %+v", got)
+	}
+	if got := agg["placement_build"]; got.Count != 1 || got.Seconds != 2 {
+		t.Fatalf("placement_build rollup = %+v", got)
+	}
+	if order := StageOrder(spans); len(order) != 2 || order[0] != "sim" || order[1] != "placement_build" {
+		t.Fatalf("stage order = %v", order)
+	}
+	if agg := RollupStages(nil); len(agg) != 0 {
+		t.Fatalf("empty rollup = %v", agg)
+	}
+}
+
 func TestTimelineConcurrent(t *testing.T) {
 	tl := NewTimeline("t-3")
 	var wg sync.WaitGroup

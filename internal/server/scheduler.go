@@ -205,6 +205,11 @@ func (s *scheduler) execute(j *job) {
 		runEnd = *st.Finished
 	}
 	j.trace.Add("run", string(st.State), j.started, runEnd)
+	// Terminal state recorded: detach the timeline from the service
+	// histograms. A canceled run's in-flight replicates may still land
+	// spans after this point — they stay visible in the job's trace but
+	// must not count as fresh service latency after the job is over.
+	j.trace.Close()
 	j.hub.publish(client.Event{Type: typ, Job: &st})
 	j.hub.close()
 }

@@ -531,6 +531,17 @@ func (s *store) requestCancel(j *job) bool {
 		j.finished = s.now()
 		st := s.statusLocked(j)
 		s.mu.Unlock()
+		// A job canceled while queued never reaches execute(), which is
+		// where queue_wait and the terminal run span are normally
+		// recorded — without these two Adds its timeline ends on the open
+		// admission span and component rollups see an unterminated job.
+		// queue_wait covers the real time spent waiting; the zero-length
+		// run span is the terminal marker the coverage contract promises
+		// (queue_wait + run spans created→finished exactly). The timeline
+		// then closes so nothing feeds service histograms after terminal.
+		j.trace.Add("queue_wait", "", j.created, j.finished)
+		j.trace.Add("run", string(client.StateCanceled), j.finished, j.finished)
+		j.trace.Close()
 		j.hub.publish(client.Event{Type: "canceled", Job: &st})
 		j.hub.close()
 		// Canceled-while-queued is terminal without passing through

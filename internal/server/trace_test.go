@@ -263,6 +263,76 @@ func TestObserveSpanFeedsHistograms(t *testing.T) {
 	}
 }
 
+// TestCanceledQueuedJobTerminalSpan: a job canceled while still queued
+// never reaches execute(), yet its timeline must end in a terminal run
+// span (with the real queue_wait recorded) and its observer must be
+// closed — otherwise component rollups see a dangling open job and late
+// spans would keep feeding service histograms after terminal state.
+func TestCanceledQueuedJobTerminalSpan(t *testing.T) {
+	step := make(chan struct{}, 16)
+	srv, c := newTestServer(t, Config{Workers: 1, MaxActive: 1}, scriptedRunner(step))
+
+	// Occupy the single admission slot so the next submission queues.
+	first, err := c.Submit(context.Background(), testServerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(context.Background(), testServerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(context.Background(), queued.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Trace(context.Background(), queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.State != client.StateCanceled {
+		t.Fatalf("state = %s, want canceled", tr.State)
+	}
+	got := map[string]int{}
+	var terminal *client.TraceSpan
+	for i, sp := range tr.Spans {
+		got[sp.Name]++
+		if sp.Name == "run" {
+			terminal = &tr.Spans[i]
+		}
+	}
+	if got["queue_wait"] != 1 || got["run"] != 1 {
+		t.Fatalf("canceled-while-queued trace lacks terminal spans: %v", got)
+	}
+	if terminal.Detail != string(client.StateCanceled) {
+		t.Fatalf("terminal span detail = %q, want canceled", terminal.Detail)
+	}
+
+	// The timeline is closed: later spans are recorded for the trace but
+	// no longer observed into the daemon histograms.
+	j, ok := srv.store.get(queued.ID)
+	if !ok {
+		t.Fatal("queued job vanished")
+	}
+	if !j.trace.Closed() {
+		t.Fatal("canceled job's timeline not closed")
+	}
+	before := srv.queueWaitHist.Snapshot().Count
+	now := time.Now()
+	j.trace.Add("queue_wait", "straggler", now.Add(-time.Second), now)
+	if after := srv.queueWaitHist.Snapshot().Count; after != before {
+		t.Fatalf("closed timeline still feeds histograms: %d -> %d", before, after)
+	}
+
+	// Unblock and finish the first job so Close() does not hang.
+	for i := 0; i < 16; i++ {
+		select {
+		case step <- struct{}{}:
+		default:
+		}
+	}
+	waitTerminal(t, c, first.ID)
+}
+
 func readAll(t *testing.T, resp *http.Response) string {
 	t.Helper()
 	var sb strings.Builder

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # bench_sweep.sh — the per-PR perf trajectory record.
 #
-# Runs the sweep subsystem's headline benchmark
-# (BenchmarkSweepPlacementCache: simulations amortized per placement
-# build) plus a cold-vs-warm service sweep through the real `sweep` CLI
-# and persistent cache dir, and emits one JSON document (BENCH_sweep.json
-# by default) that CI uploads as a build artifact — so every PR leaves a
-# comparable perf datapoint instead of a green checkmark.
+# Thin wrapper over `episim-bench -preset sweep`: the historical
+# cold-vs-warm service sweep (bench-town 2000×200, RR×4 and
+# GP-splitLoc×4) now runs as matrix cells through the same in-process
+# harness CI gates on, so BENCH_sweep.json carries real wall/peak-RSS/
+# component measurements instead of shell-timed millisecond deltas (and
+# needs no GNU-only `date +%s%3N`). The headline microbenchmark still
+# runs first, to stderr, for the log trail.
 #
 # Usage: scripts/bench_sweep.sh [output.json]
 set -eu
@@ -16,58 +17,11 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 echo "== go test -bench BenchmarkSweepPlacementCache -benchtime 3x" >&2
-go test -run '^$' -bench BenchmarkSweepPlacementCache -benchtime 3x . | tee "$workdir/bench.out" >&2
+go test -run '^$' -bench BenchmarkSweepPlacementCache -benchtime 3x . >&2
 
-# Parse "BenchmarkSweepPlacementCache-8  3  123456 ns/op  16.00 sims/build".
-bench_line=$(grep '^BenchmarkSweepPlacementCache' "$workdir/bench.out" | head -1)
-ns_per_op=$(echo "$bench_line" | awk '{print $3}')
-sims_per_build=$(echo "$bench_line" | awk '{for (i=1; i<=NF; i++) if ($i == "sims/build") print $(i-1)}')
+echo "== episim-bench -preset sweep" >&2
+go build -o "$workdir/episim-bench" ./cmd/episim-bench
+"$workdir/episim-bench" -preset sweep -out "$out"
 
-echo "== cold vs warm service sweep" >&2
-go build -o "$workdir/sweep" ./cmd/sweep
-cat > "$workdir/spec.json" <<'SPEC'
-{
-  "populations": [{"name": "bench-town", "people": 2000, "locations": 200}],
-  "placements": [{"strategy": "RR", "ranks": 4},
-                 {"strategy": "GP", "splitloc": true, "ranks": 4}],
-  "replicates": 3, "days": 10, "seed": 7
-}
-SPEC
-
-now_ms() { date +%s%3N; }
-
-t0=$(now_ms)
-"$workdir/sweep" -spec "$workdir/spec.json" -cache-dir "$workdir/cache" -out "$workdir/cold.json" 2> "$workdir/cold.log"
-t1=$(now_ms)
-"$workdir/sweep" -spec "$workdir/spec.json" -cache-dir "$workdir/cache" -out "$workdir/warm.json" 2> "$workdir/warm.log"
-t2=$(now_ms)
-cat "$workdir/cold.log" "$workdir/warm.log" >&2
-
-cold_ms=$((t1 - t0))
-warm_ms=$((t2 - t1))
-cmp "$workdir/cold.json" "$workdir/warm.json" # warm run must be byte-identical
-grep -q '(0 placements built' "$workdir/warm.log" # and build nothing
-
-commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
-cat > "$out" <<JSON
-{
-  "commit": "$commit",
-  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "go_version": "$(go version | awk '{print $3}')",
-  "placement_cache_bench": {
-    "name": "BenchmarkSweepPlacementCache",
-    "benchtime": "3x",
-    "ns_per_op": ${ns_per_op:-null},
-    "sims_per_build": ${sims_per_build:-null}
-  },
-  "service_sweep": {
-    "cold_ms": $cold_ms,
-    "warm_ms": $warm_ms,
-    "warm_speedup": $(awk "BEGIN {printf \"%.2f\", $cold_ms / ($warm_ms == 0 ? 1 : $warm_ms)}"),
-    "warm_zero_builds": true,
-    "byte_identical": true
-  }
-}
-JSON
 echo "wrote $out" >&2
 cat "$out"
