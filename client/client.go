@@ -138,6 +138,11 @@ type StatsReply struct {
 	CellsStreamed int64   `json:"cells_streamed"`
 	CellsPerSec   float64 `json:"cells_per_sec"`
 
+	// KernelDays counts simulated days by executing kernel ("dense",
+	// "active", "event") across all finalized cells; empty until a sweep
+	// selects a non-default kernel.
+	KernelDays map[string]int64 `json:"kernel_days,omitempty"`
+
 	// Cache stats carry both tiers: Hits/Misses/... are the in-memory
 	// LRU, Disk* the persistent artifact tier, and Builds the actual
 	// build executions either tier failed to absorb.

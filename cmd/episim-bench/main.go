@@ -19,6 +19,14 @@
 //	episim-bench -compare old.json new.json -noise 15%
 //	episim-bench -compare old.json new.json -noise 10% -rss-noise 30%
 //
+// Kernel-gate mode checks a single report's dense-vs-auto kernel pairs
+// (the "kernels" preset, or any matrix carrying kernel cells): auto
+// must beat dense by -min-speedup at the lowest seeding and stay
+// within -noise of dense at every other seeding:
+//
+//	episim-bench -preset kernels -out BENCH_kernels.json
+//	episim-bench -kernel-gate BENCH_kernels.json -min-speedup 2 -noise 15%
+//
 // Wall clock always gates; peak RSS gates only when -rss-noise is set
 // and both reports measured RSS from the same source (true /proc RSS is
 // never compared against the Go-heap fallback). Run mode exits 1 when
@@ -45,7 +53,7 @@ import (
 
 func main() {
 	var (
-		preset     = flag.String("preset", "matrix", "built-in matrix (matrix | sweep); ignored with -spec")
+		preset     = flag.String("preset", "matrix", "built-in matrix (matrix | sweep | kernels); ignored with -spec")
 		specPath   = flag.String("spec", "", "matrix spec JSON file (\"-\" = stdin)")
 		outPath    = flag.String("out", "BENCH_matrix.json", "write the report here (\"-\" = stdout)")
 		timeout    = flag.Duration("cell-timeout", 0, "override the per-cell timeout (0 = spec value)")
@@ -53,13 +61,19 @@ func main() {
 		example    = flag.Bool("example", false, "print the selected preset as an editable spec and exit")
 
 		comparePath = flag.String("compare", "", "old report: with a NEW report as the positional argument, diff instead of run")
-		noiseFlag   = flag.String("noise", "15%", "wall-clock noise band for -compare (\"15%\" or \"0.15\")")
+		noiseFlag   = flag.String("noise", "15%", "wall-clock noise band for -compare (\"15%\" or \"0.15\") and for -kernel-gate's everywhere-band")
 		rssNoise    = flag.String("rss-noise", "0", "peak-RSS noise band for -compare (0 disables RSS gating)")
+
+		kernelGate = flag.String("kernel-gate", "", "report file: gate its dense-vs-auto kernel pairs instead of running")
+		minSpeedup = flag.Float64("min-speedup", 2.0, "required dense/auto speedup at the lowest seeding for -kernel-gate")
 	)
 	flag.Parse()
 
 	if *comparePath != "" {
 		os.Exit(runCompare(*comparePath, flag.Arg(0), *noiseFlag, *rssNoise))
+	}
+	if *kernelGate != "" {
+		os.Exit(runKernelGate(*kernelGate, *noiseFlag, *minSpeedup))
 	}
 
 	spec, err := loadSpec(*specPath, *preset)
@@ -138,6 +152,30 @@ func runCompare(oldPath, newPath, noiseFlag, rssFlag string) int {
 	res.WriteTable(os.Stdout)
 	if res.Failed() {
 		fmt.Fprintln(os.Stderr, "episim-bench: regression gate FAILED")
+		return 1
+	}
+	return 0
+}
+
+// runKernelGate enforces the hybrid kernel's performance contract on a
+// single report: auto must beat dense by -min-speedup at the lowest
+// seeding, and stay within the -noise band of dense everywhere else.
+func runKernelGate(path, noiseFlag string, minSpeedup float64) int {
+	band, err := benchmatrix.ParseNoise(noiseFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := benchmatrix.KernelGate(rep, minSpeedup, band)
+	if err != nil {
+		fatal(err)
+	}
+	res.WriteTable(os.Stdout)
+	if res.Failed() {
+		fmt.Fprintln(os.Stderr, "episim-bench: kernel gate FAILED")
 		return 1
 	}
 	return 0

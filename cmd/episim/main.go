@@ -40,6 +40,8 @@ func main() {
 		agg       = flag.Int("agg", 64, "message aggregation buffer (0 = off)")
 		route2d   = flag.Bool("route2d", false, "TRAM-style 2D topological routing of aggregated messages")
 		mixing    = flag.Float64("mixing", 0, "inter-sublocation mixing factor (0 = rooms are isolated)")
+		kernel    = flag.String("kernel", "", "simulation kernel: dense (default), auto (active-set, byte-identical) or event (Gillespie, statistical)")
+		kernelThr = flag.Float64("kernel-threshold", 0, "prevalence threshold gating the event kernel (0 = engine default)")
 		diseaseF  = flag.String("disease", "", "disease model file (default: built-in ILI model)")
 		scenarioF = flag.String("scenario", "", "intervention DSL file")
 		model     = flag.Bool("model-time", false, "also print modeled Blue Waters time per day")
@@ -95,6 +97,7 @@ func main() {
 		Days: *days, Seed: *seed, InitialInfections: *seeds,
 		Parallel: *parallel, AggBufferSize: *agg,
 		Route2D: *route2d, Mixing: *mixing,
+		Kernel: *kernel, KernelThreshold: *kernelThr,
 	}
 	if *diseaseF != "" {
 		f, err := os.Open(*diseaseF)
@@ -140,7 +143,16 @@ func main() {
 		wire += d.PersonPhase.WireMessages + d.LocationPhase.WireMessages
 	}
 	fmt.Fprintf(report, "messages: %d chare-level, %d wire (aggregation factor %.1f)\n",
-		msgs, wire, float64(msgs)/float64(max64(wire, 1)))
+		msgs, wire, float64(msgs)/float64(max(wire, 1)))
+	if len(res.KernelDays) > 0 {
+		parts := make([]string, 0, len(res.KernelDays))
+		for _, k := range []string{"dense", "active", "event"} {
+			if n := res.KernelDays[k]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+			}
+		}
+		fmt.Fprintf(report, "kernel days: %s\n", strings.Join(parts, " "))
+	}
 
 	if *model {
 		cost := episim.ModelDayTime(pl, episim.DefaultPerfOptions())
@@ -179,11 +191,4 @@ func main() {
 		}
 		fmt.Fprintf(report, "result JSON written to %s\n", *jsonOut)
 	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -63,6 +63,7 @@ func main() {
 		cacheMax = flag.Int64("cache-max-bytes", 0, "after the run, prune -cache-dir's placement store to this size, least-recently-used first (0 = no pruning)")
 		server   = flag.String("server", "", "episimd or episim-gw base URL, e.g. http://localhost:8321 (used by -trace)")
 		traceJob = flag.String("trace", "", "fetch this job id's span timeline from -server, print a per-stage summary, and exit")
+		kernel   = flag.String("kernel", "", "override the spec's simulation kernel: dense, auto or event")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -104,6 +105,9 @@ func main() {
 	}
 	if *workers > 0 {
 		spec.Workers = *workers
+	}
+	if *kernel != "" {
+		spec.Kernel = *kernel
 	}
 
 	var cache *episim.SweepCache

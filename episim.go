@@ -243,6 +243,14 @@ type SimConfig struct {
 	// transmission scale. On split populations, infectious visitors are
 	// automatically replicated across fragments (Figure 6(b)).
 	Mixing float64
+	// Kernel selects the per-day simulation kernel: "" or "dense" (the
+	// historical day-stepped path), "auto" (active-set stepping,
+	// byte-identical to dense) or "event" (Gillespie path below the
+	// prevalence threshold, statistically equivalent). See core.Config.
+	Kernel string
+	// KernelThreshold is the prevalence fraction gating the "event"
+	// kernel (0 = default, see core.Config.KernelThreshold).
+	KernelThreshold float64
 }
 
 // Run executes a simulation over the placement.
@@ -272,13 +280,15 @@ func Run(pl *Placement, cfg SimConfig) (*Result, error) {
 			PEsPerProc:   cfg.PEsPerProc,
 			ProcsPerNode: cfg.ProcsPerNode,
 		},
-		AggBufferSize: cfg.AggBufferSize,
-		Route2D:       cfg.Route2D,
-		SyncMode:      sync,
-		ChareFactor:   cfg.ChareFactor,
-		PersonRank:    pl.PersonRank,
-		LocationRank:  pl.LocationRank,
-		Mixing:        cfg.Mixing,
+		AggBufferSize:   cfg.AggBufferSize,
+		Route2D:         cfg.Route2D,
+		SyncMode:        sync,
+		ChareFactor:     cfg.ChareFactor,
+		PersonRank:      pl.PersonRank,
+		LocationRank:    pl.LocationRank,
+		Mixing:          cfg.Mixing,
+		Kernel:          cfg.Kernel,
+		KernelThreshold: cfg.KernelThreshold,
 	})
 	if err != nil {
 		return nil, err

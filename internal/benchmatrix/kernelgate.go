@@ -1,0 +1,193 @@
+package benchmatrix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// KernelPair is one dense-vs-auto comparison inside a single report:
+// two cells identical along every axis except the kernel.
+type KernelPair struct {
+	// BaseID is the shared identity with the kernel segment stripped.
+	BaseID  string
+	Seeding int
+	// DenseWall is the default/dense-kernel cell's wall clock, AutoWall
+	// the auto-kernel cell's; Speedup is their ratio (>1 = auto faster).
+	DenseWall, AutoWall float64
+	Speedup             float64
+	// GateSpeedup marks the pair that must clear MinSpeedup (the lowest
+	// seeding in the report — where the active set is sparsest).
+	GateSpeedup bool
+	OK          bool
+	Reason      string
+}
+
+// KernelGateResult is the verdict of KernelGate over one report.
+type KernelGateResult struct {
+	MinSpeedup float64 // required dense/auto ratio at the lowest seeding
+	Band       float64 // fractional slowdown tolerated everywhere (0.15 = +15%)
+	Pairs      []KernelPair
+	// Problems are structural defects (broken cells, unpaired kernel
+	// cells) that fail the gate regardless of timings.
+	Problems []string
+}
+
+// Failed reports whether the gate should trip.
+func (r *KernelGateResult) Failed() bool {
+	if len(r.Problems) > 0 {
+		return true
+	}
+	for _, p := range r.Pairs {
+		if !p.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteTable renders the per-pair verdicts plus any structural problems.
+func (r *KernelGateResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %6s %10s %10s %8s  %s\n",
+		"pair", "seed", "dense (s)", "auto (s)", "speedup", "verdict")
+	for _, p := range r.Pairs {
+		verdict := "ok"
+		if !p.OK {
+			verdict = "FAIL"
+		}
+		if p.Reason != "" {
+			verdict += " (" + p.Reason + ")"
+		}
+		fmt.Fprintf(w, "%-44s %6d %10.3f %10.3f %7.2fx  %s\n",
+			p.BaseID, p.Seeding, p.DenseWall, p.AutoWall, p.Speedup, verdict)
+	}
+	for _, pr := range r.Problems {
+		fmt.Fprintf(w, "problem: %s\n", pr)
+	}
+	failed := 0
+	for _, p := range r.Pairs {
+		if !p.OK {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "summary: %d pairs, %d failed, %d problems (min speedup %.2fx at lowest seeding, band +%.0f%% elsewhere)\n",
+		len(r.Pairs), failed, len(r.Problems), r.MinSpeedup, 100*r.Band)
+}
+
+// KernelGate pairs every auto-kernel cell in the report against its
+// default/dense-kernel counterpart (same ID with the kernel segment
+// stripped) and enforces the hybrid kernel's performance contract:
+// at the lowest seeding present — where the infected frontier is
+// sparsest and active-set stepping must pay for itself — auto must be
+// at least minSpeedup× faster than dense; at every seeding, auto must
+// never be more than band slower than dense (the dense fallback's
+// overhead ceiling). Broken or unpaired kernel cells fail the gate:
+// a gate that silently skips its evidence is no gate.
+func KernelGate(rep *Report, minSpeedup, band float64) (*KernelGateResult, error) {
+	if minSpeedup < 1 {
+		return nil, fmt.Errorf("benchmatrix: kernel gate min speedup %.2f < 1", minSpeedup)
+	}
+	if band < 0 || band >= 1 {
+		return nil, fmt.Errorf("benchmatrix: kernel gate band %.2f outside [0, 1)", band)
+	}
+	res := &KernelGateResult{MinSpeedup: minSpeedup, Band: band}
+
+	type pairCells struct{ dense, auto *CellReport }
+	byBase := make(map[string]*pairCells)
+	var order []string
+	lookup := func(base string) *pairCells {
+		pc := byBase[base]
+		if pc == nil {
+			pc = &pairCells{}
+			byBase[base] = pc
+			order = append(order, base)
+		}
+		return pc
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		switch c.Kernel {
+		case "auto":
+			base := strings.TrimSuffix(c.ID, "|k=auto")
+			lookup(base).auto = c
+		case "", "dense":
+			base := strings.TrimSuffix(c.ID, "|k=dense")
+			// Default-kernel cells only anchor a pair when an auto cell
+			// claims the same base; recording them all is harmless —
+			// unpaired dense cells are simply dropped below.
+			lookup(base).dense = c
+		}
+	}
+
+	minSeeding := -1
+	var pairs []KernelPair
+	for _, base := range order {
+		pc := byBase[base]
+		if pc.auto == nil {
+			continue // plain matrix cell, nothing to gate
+		}
+		if pc.dense == nil {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("auto cell %s has no dense counterpart", pc.auto.ID))
+			continue
+		}
+		if bad := brokenCell(pc.dense); bad != "" {
+			res.Problems = append(res.Problems, bad)
+			continue
+		}
+		if bad := brokenCell(pc.auto); bad != "" {
+			res.Problems = append(res.Problems, bad)
+			continue
+		}
+		p := KernelPair{
+			BaseID:    base,
+			Seeding:   pc.auto.InitialInfections,
+			DenseWall: pc.dense.WallSeconds,
+			AutoWall:  pc.auto.WallSeconds,
+		}
+		if p.AutoWall > 0 {
+			p.Speedup = p.DenseWall / p.AutoWall
+		}
+		if minSeeding < 0 || p.Seeding < minSeeding {
+			minSeeding = p.Seeding
+		}
+		pairs = append(pairs, p)
+	}
+	if len(pairs) == 0 && len(res.Problems) == 0 {
+		return nil, fmt.Errorf("benchmatrix: report %q has no dense/auto kernel pairs to gate", rep.Name)
+	}
+
+	for i := range pairs {
+		p := &pairs[i]
+		p.OK = true
+		if p.Seeding == minSeeding {
+			p.GateSpeedup = true
+			if p.Speedup < minSpeedup {
+				p.OK = false
+				p.Reason = fmt.Sprintf("speedup %.2fx < required %.2fx at lowest seeding", p.Speedup, minSpeedup)
+			}
+		}
+		if p.OK && p.AutoWall > p.DenseWall*(1+band) {
+			p.OK = false
+			p.Reason = fmt.Sprintf("auto %.1f%% slower than dense (band +%.0f%%)",
+				100*(p.AutoWall-p.DenseWall)/p.DenseWall, 100*band)
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].Seeding < pairs[b].Seeding })
+	res.Pairs = pairs
+	return res, nil
+}
+
+// brokenCell describes a cell whose measurement cannot be gated on.
+func brokenCell(c *CellReport) string {
+	switch {
+	case c.TimedOut:
+		return fmt.Sprintf("cell %s timed out", c.ID)
+	case c.Error != "":
+		return fmt.Sprintf("cell %s errored: %s", c.ID, c.Error)
+	case c.WallSeconds <= 0:
+		return fmt.Sprintf("cell %s has no wall-clock measurement", c.ID)
+	}
+	return ""
+}

@@ -1,0 +1,163 @@
+package benchmatrix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ensemble"
+)
+
+// gateCell builds one kernel-axis cell report the way a real run would.
+func gateCell(kernel string, seeding int, wall float64) CellReport {
+	c := CellConfig{
+		Population: ensemble.PopulationSpec{Name: "bench-town-2000", People: 2000, Locations: 200},
+		Strategy:   StrategyAxis{Strategy: "RR"},
+		Ranks:      4,
+		Scenarios:  1,
+		CacheState: CacheWarm,
+		Kernel:     kernel,
+		Seeding:    seeding,
+	}
+	return CellReport{
+		ID:                c.ID(),
+		Kernel:            kernel,
+		InitialInfections: seeding,
+		WallSeconds:       wall,
+	}
+}
+
+func gateReport(cells ...CellReport) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Name: "kernels", Cells: cells}
+}
+
+func TestKernelGatePasses(t *testing.T) {
+	rep := gateReport(
+		gateCell("", 1, 3.0),
+		gateCell("auto", 1, 1.0), // 3x at the sparse end
+		gateCell("", 600, 2.0),
+		gateCell("auto", 600, 2.1), // +5% at the dense end, inside the band
+	)
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("gate failed: %+v %v", res.Pairs, res.Problems)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("got %d pairs", len(res.Pairs))
+	}
+	low := res.Pairs[0]
+	if low.Seeding != 1 || !low.GateSpeedup || low.Speedup < 2.9 {
+		t.Fatalf("low-seeding pair %+v", low)
+	}
+	if high := res.Pairs[1]; high.GateSpeedup {
+		t.Fatalf("high-seeding pair must not carry the speedup requirement: %+v", high)
+	}
+}
+
+func TestKernelGateFailsOnMissedSpeedup(t *testing.T) {
+	rep := gateReport(
+		gateCell("", 1, 1.5),
+		gateCell("auto", 1, 1.0), // only 1.5x where 2x is required
+	)
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("1.5x speedup passed a 2x gate")
+	}
+	if p := res.Pairs[0]; p.OK || !strings.Contains(p.Reason, "speedup") {
+		t.Fatalf("pair %+v", p)
+	}
+}
+
+func TestKernelGateFailsOutsideBand(t *testing.T) {
+	rep := gateReport(
+		gateCell("", 1, 3.0),
+		gateCell("auto", 1, 1.0),
+		gateCell("", 600, 2.0),
+		gateCell("auto", 600, 2.5), // 25% slower, band is 15%
+	)
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("auto 25% slower than dense passed a ±15% band")
+	}
+	if p := res.Pairs[1]; p.OK || !strings.Contains(p.Reason, "slower") {
+		t.Fatalf("pair %+v", p)
+	}
+}
+
+func TestKernelGateBrokenAndUnpairedCells(t *testing.T) {
+	broken := gateCell("", 1, 3.0)
+	broken.TimedOut = true
+	rep := gateReport(broken, gateCell("auto", 1, 1.0))
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || len(res.Problems) != 1 {
+		t.Fatalf("timed-out dense cell did not fail the gate: %+v", res)
+	}
+
+	rep = gateReport(gateCell("auto", 1, 1.0)) // no dense counterpart
+	res, err = KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || !strings.Contains(res.Problems[0], "no dense counterpart") {
+		t.Fatalf("unpaired auto cell did not fail the gate: %+v", res)
+	}
+}
+
+func TestKernelGateExplicitDenseKernelPairs(t *testing.T) {
+	// A spec using "dense" explicitly (|k=dense segment) must pair with
+	// auto the same as the default kernel does.
+	rep := gateReport(
+		gateCell("dense", 1, 3.0),
+		gateCell("auto", 1, 1.0),
+	)
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() || len(res.Pairs) != 1 {
+		t.Fatalf("explicit dense kernel did not pair: %+v", res)
+	}
+}
+
+func TestKernelGateNoPairsIsAnError(t *testing.T) {
+	rep := gateReport(gateCell("", 1, 3.0)) // dense only: nothing to gate
+	if _, err := KernelGate(rep, 2.0, 0.15); err == nil {
+		t.Fatal("report with no kernel pairs accepted")
+	}
+	if _, err := KernelGate(gateReport(), 0.5, 0.15); err == nil {
+		t.Fatal("min speedup < 1 accepted")
+	}
+	if _, err := KernelGate(gateReport(), 2.0, 1.5); err == nil {
+		t.Fatal("band ≥ 1 accepted")
+	}
+}
+
+func TestKernelGateTableRendering(t *testing.T) {
+	rep := gateReport(
+		gateCell("", 1, 3.0),
+		gateCell("auto", 1, 1.0),
+	)
+	res, err := KernelGate(rep, 2.0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"speedup", "3.00x", "1 pairs, 0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

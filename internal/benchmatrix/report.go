@@ -51,8 +51,13 @@ type CellReport struct {
 	Ranks      int    `json:"ranks"`
 	Scenarios  int    `json:"scenarios"`
 	CacheState string `json:"cache_state"`
-	Replicates int    `json:"replicates"`
-	Days       int    `json:"days"`
+	// Kernel and InitialInfections denormalize the kernel-axis
+	// coordinates; zero values (default kernel / default seeding) are
+	// omitted, so pre-kernel-axis reports parse and emit unchanged.
+	Kernel            string `json:"kernel,omitempty"`
+	InitialInfections int    `json:"initial_infections,omitempty"`
+	Replicates        int    `json:"replicates"`
+	Days              int    `json:"days"`
 
 	// Measurements.
 	WallSeconds float64 `json:"wall_seconds"`

@@ -93,18 +93,20 @@ func Run(ctx context.Context, spec *Spec, opts *RunnerOptions) (*Report, error) 
 // run bracketed by allocator stats and a background RSS sampler.
 func runCell(ctx context.Context, s *Spec, cell CellConfig, o *RunnerOptions) CellReport {
 	cr := CellReport{
-		ID:         cell.ID(),
-		Population: cell.Population.Label(),
-		People:     cell.Population.People,
-		Locations:  cell.Population.Locations,
-		Strategy:   strings.ToUpper(cell.Strategy.Strategy),
-		SplitLoc:   cell.Strategy.SplitLoc,
-		Ranks:      cell.Ranks,
-		Scenarios:  cell.Scenarios,
-		CacheState: cell.CacheState,
-		Replicates: s.Replicates,
-		Days:       s.Days,
-		Components: map[string]obs.StageTotal{},
+		ID:                cell.ID(),
+		Population:        cell.Population.Label(),
+		People:            cell.Population.People,
+		Locations:         cell.Population.Locations,
+		Strategy:          strings.ToUpper(cell.Strategy.Strategy),
+		SplitLoc:          cell.Strategy.SplitLoc,
+		Ranks:             cell.Ranks,
+		Scenarios:         cell.Scenarios,
+		CacheState:        cell.CacheState,
+		Kernel:            cell.Kernel,
+		InitialInfections: cell.Seeding,
+		Replicates:        s.Replicates,
+		Days:              s.Days,
+		Components:        map[string]obs.StageTotal{},
 	}
 	sw := s.SweepSpec(cell)
 	timeout := time.Duration(s.CellTimeout)

@@ -89,6 +89,21 @@ type Spec struct {
 	ScenarioCounts []int `json:"scenario_counts"`
 	// CacheStates is any subset of {cold, warm}.
 	CacheStates []string `json:"cache_states"`
+	// Kernels is the simulation-kernel axis ("" = the sweep default,
+	// "dense", "auto", "event"). Empty means a single default-kernel
+	// column, so legacy specs keep their exact historical cell IDs.
+	Kernels []string `json:"kernels,omitempty"`
+	// Seedings is the initial-infections axis (0 = the sweep default).
+	// The kernel axis only separates at the seeding extremes — a sparse
+	// frontier is where active-set stepping wins — so the two axes ship
+	// together.
+	Seedings []int `json:"seedings,omitempty"`
+
+	// Extra appends fully-resolved cells after the crossed axes, so a
+	// matrix can carry a handful of targeted configurations (e.g.
+	// dense-vs-auto at low and high seeding) without multiplying every
+	// existing axis by them.
+	Extra []CellConfig `json:"extra_cells,omitempty"`
 
 	// Per-cell sweep shape.
 	Replicates int    `json:"replicates"`
@@ -163,7 +178,42 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("benchmatrix: unknown cache state %q (want %s or %s)", cs, CacheCold, CacheWarm)
 		}
 	}
+	for _, k := range s.Kernels {
+		if err := validKernel(k); err != nil {
+			return err
+		}
+	}
+	for _, ii := range s.Seedings {
+		if ii < 0 {
+			return fmt.Errorf("benchmatrix: seeding %d < 0", ii)
+		}
+	}
+	for _, c := range s.Extra {
+		if err := validKernel(c.Kernel); err != nil {
+			return err
+		}
+		if c.Seeding < 0 {
+			return fmt.Errorf("benchmatrix: extra cell %s: seeding %d < 0", c.ID(), c.Seeding)
+		}
+		if c.Ranks < 1 {
+			return fmt.Errorf("benchmatrix: extra cell %s: ranks %d < 1", c.ID(), c.Ranks)
+		}
+		if c.Scenarios < 1 {
+			return fmt.Errorf("benchmatrix: extra cell %s: scenario count %d < 1", c.ID(), c.Scenarios)
+		}
+		if c.CacheState != CacheCold && c.CacheState != CacheWarm {
+			return fmt.Errorf("benchmatrix: extra cell %s: unknown cache state %q", c.ID(), c.CacheState)
+		}
+	}
 	return nil
+}
+
+func validKernel(k string) error {
+	switch k {
+	case "", "dense", "auto", "event":
+		return nil
+	}
+	return fmt.Errorf("benchmatrix: unknown kernel %q (want dense, auto or event)", k)
 }
 
 // ParseSpec decodes and validates a matrix spec from JSON, rejecting
@@ -186,43 +236,74 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 // every axis. IDs are pure functions of the coordinates, so two runs of
 // the same spec always produce matchable cells.
 type CellConfig struct {
-	Population ensemble.PopulationSpec
-	Strategy   StrategyAxis
-	Ranks      int
-	Scenarios  int
-	CacheState string
+	Population ensemble.PopulationSpec `json:"population"`
+	Strategy   StrategyAxis            `json:"strategy"`
+	Ranks      int                     `json:"ranks"`
+	Scenarios  int                     `json:"scenarios"`
+	CacheState string                  `json:"cache_state"`
+	// Kernel and Seeding are zero-valued on legacy cells ("" / 0 =
+	// sweep defaults), and zero values add no ID segment — so every
+	// pre-kernel-axis report keeps its exact cell identities.
+	Kernel  string `json:"kernel,omitempty"`
+	Seeding int    `json:"seeding,omitempty"`
 }
 
 // ID is the cell's stable identity in reports and compare tables.
+// Kernel and seeding coordinates append trailing segments only when
+// set, keeping legacy IDs byte-identical.
 func (c CellConfig) ID() string {
-	return fmt.Sprintf("%s|%s x%d|scen=%d|%s",
+	id := fmt.Sprintf("%s|%s x%d|scen=%d|%s",
 		c.Population.Label(), c.Strategy.Label(), c.Ranks, c.Scenarios, c.CacheState)
+	if c.Seeding != 0 {
+		id += fmt.Sprintf("|ii=%d", c.Seeding)
+	}
+	if c.Kernel != "" {
+		id += "|k=" + c.Kernel
+	}
+	return id
 }
 
 // Cells enumerates the matrix in deterministic axis order: populations
-// outermost, then strategy, ranks, scenario count, cache state — with
-// cold immediately before warm for a given shape, so a report reads as
-// cold/warm pairs.
+// outermost, then strategy, ranks, scenario count, seeding, cache
+// state, kernel — with cold immediately before warm for a given shape,
+// and the kernel axis innermost so a report reads as side-by-side
+// kernel columns of the same configuration. Extra cells follow the
+// crossed axes verbatim. The kernel/seeding defaults apply here rather
+// than in Normalize so legacy spec files round-trip unchanged.
 func (s *Spec) Cells() []CellConfig {
+	kernels := s.Kernels
+	if len(kernels) == 0 {
+		kernels = []string{""}
+	}
+	seedings := s.Seedings
+	if len(seedings) == 0 {
+		seedings = []int{0}
+	}
 	var cells []CellConfig
 	for _, pop := range s.Populations {
 		for _, st := range s.Strategies {
 			for _, r := range s.Ranks {
 				for _, n := range s.ScenarioCounts {
-					for _, cs := range s.CacheStates {
-						cells = append(cells, CellConfig{
-							Population: pop,
-							Strategy:   st,
-							Ranks:      r,
-							Scenarios:  n,
-							CacheState: cs,
-						})
+					for _, ii := range seedings {
+						for _, cs := range s.CacheStates {
+							for _, k := range kernels {
+								cells = append(cells, CellConfig{
+									Population: pop,
+									Strategy:   st,
+									Ranks:      r,
+									Scenarios:  n,
+									CacheState: cs,
+									Kernel:     k,
+									Seeding:    ii,
+								})
+							}
+						}
 					}
 				}
 			}
 		}
 	}
-	return cells
+	return append(cells, s.Extra...)
 }
 
 // SweepSpec builds the sweep one cell times: a single-population,
@@ -242,11 +323,13 @@ func (s *Spec) SweepSpec(c CellConfig) *ensemble.Spec {
 			SplitLoc: c.Strategy.SplitLoc,
 			Ranks:    c.Ranks,
 		}},
-		Scenarios:  scenarios,
-		Replicates: s.Replicates,
-		Days:       s.Days,
-		Seed:       s.Seed,
-		Workers:    s.Workers,
+		Scenarios:         scenarios,
+		Replicates:        s.Replicates,
+		Days:              s.Days,
+		Seed:              s.Seed,
+		Workers:           s.Workers,
+		Kernel:            c.Kernel,
+		InitialInfections: c.Seeding,
 	}
 	sw.Normalize()
 	return sw
@@ -256,12 +339,20 @@ func (s *Spec) SweepSpec(c CellConfig) *ensemble.Spec {
 //
 //   - "matrix" — the default CI scaling matrix: two population scales ×
 //     {RR, GP-splitLoc} × {2, 4} ranks × {1, 2} scenarios × cold/warm =
-//     32 cells, each small enough that the whole matrix stays inside a
-//     CI minute-budget while still spanning every axis.
+//     32 crossed cells plus 4 extra dense-vs-auto kernel cells, each
+//     small enough that the whole matrix stays inside a CI
+//     minute-budget while still spanning every axis.
 //   - "sweep" — the historical bench_sweep.sh service sweep (bench-town
 //     2000×200, RR×4 and GP-splitLoc×4, 3 replicates, 10 days, seed 7)
 //     as cold/warm matrix cells, so the per-PR BENCH_sweep.json
 //     trajectory continues on the same timing code path as the matrix.
+//   - "kernels" — the dense-vs-auto kernel matrix: bench-town-2000,
+//     RR×4, warm cache, {default, auto} kernels × {1, 600} initial
+//     infections. The low-seeding column is where active-set stepping
+//     must win (the frontier is a handful of people); the high-seeding
+//     column (30% of the population infected on day 0) is where auto's
+//     dense fallback must keep it within noise of dense. KernelGate
+//     consumes this report.
 func Preset(name string) (*Spec, error) {
 	var s *Spec
 	switch name {
@@ -282,6 +373,11 @@ func Preset(name string) (*Spec, error) {
 			Replicates:     2,
 			Days:           6,
 			Seed:           7,
+			// Targeted kernel cells ride the default matrix so every CI
+			// run tracks the dense/auto trajectory without doubling the
+			// crossed axes: one shape, both kernels, both seeding
+			// extremes.
+			Extra: kernelCells(),
 		}
 	case "sweep":
 		s = &Spec{
@@ -300,12 +396,50 @@ func Preset(name string) (*Spec, error) {
 			Days:           10,
 			Seed:           7,
 		}
+	case "kernels":
+		s = &Spec{
+			Name: "kernels",
+			Populations: []ensemble.PopulationSpec{
+				{Name: "bench-town-2000", People: 2000, Locations: 200},
+			},
+			Strategies:     []StrategyAxis{{Strategy: "RR"}},
+			Ranks:          []int{4},
+			ScenarioCounts: []int{1},
+			CacheStates:    []string{CacheWarm},
+			Kernels:        []string{"", "auto"},
+			Seedings:       []int{1, 600},
+			Replicates:     3,
+			Days:           10,
+			Seed:           7,
+		}
 	default:
-		return nil, fmt.Errorf("benchmatrix: unknown preset %q (want matrix or sweep)", name)
+		return nil, fmt.Errorf("benchmatrix: unknown preset %q (want matrix, sweep or kernels)", name)
 	}
 	s.Normalize()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// kernelCells is the dense-vs-auto quartet the "matrix" preset carries:
+// one fixed shape (bench-town-2000, RR×4, 1 scenario, warm cache) at
+// the two seeding extremes, each with the default kernel and with auto.
+func kernelCells() []CellConfig {
+	pop := ensemble.PopulationSpec{Name: "bench-town-2000", People: 2000, Locations: 200}
+	var cells []CellConfig
+	for _, ii := range []int{1, 600} {
+		for _, k := range []string{"", "auto"} {
+			cells = append(cells, CellConfig{
+				Population: pop,
+				Strategy:   StrategyAxis{Strategy: "RR"},
+				Ranks:      4,
+				Scenarios:  1,
+				CacheState: CacheWarm,
+				Kernel:     k,
+				Seeding:    ii,
+			})
+		}
+	}
+	return cells
 }

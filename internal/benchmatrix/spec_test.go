@@ -11,9 +11,10 @@ func TestPresetsValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The acceptance floor: the default matrix must span ≥12 cells.
-	if got := len(m.Cells()); got != 32 || got < 12 {
-		t.Fatalf("matrix preset has %d cells, want 32", got)
+	// The acceptance floor: the default matrix must span ≥12 cells
+	// (32 crossed + 4 extra dense-vs-auto kernel cells).
+	if got := len(m.Cells()); got != 36 || got < 12 {
+		t.Fatalf("matrix preset has %d cells, want 36", got)
 	}
 	s, err := Preset("sweep")
 	if err != nil {
@@ -22,8 +23,66 @@ func TestPresetsValidate(t *testing.T) {
 	if got := len(s.Cells()); got != 4 {
 		t.Fatalf("sweep preset has %d cells, want 4", got)
 	}
+	k, err := Preset("kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {default, auto} kernels × {1, 600} seedings on one shape.
+	if got := len(k.Cells()); got != 4 {
+		t.Fatalf("kernels preset has %d cells, want 4", got)
+	}
 	if _, err := Preset("nope"); err == nil {
 		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestKernelAxisCells pins the kernel/seeding axis semantics: zero
+// values add no ID segment (legacy baselines stay matchable), set
+// values append |ii= and |k= segments with the kernel segment last
+// (KernelGate strips it to find a pair's dense counterpart), and the
+// cell coordinates flow into the sweep spec the cell actually runs.
+func TestKernelAxisCells(t *testing.T) {
+	k, _ := Preset("kernels")
+	ids := make([]string, 0, 4)
+	for _, c := range k.Cells() {
+		ids = append(ids, c.ID())
+	}
+	want := []string{
+		"bench-town-2000|RR x4|scen=1|warm|ii=1",
+		"bench-town-2000|RR x4|scen=1|warm|ii=1|k=auto",
+		"bench-town-2000|RR x4|scen=1|warm|ii=600",
+		"bench-town-2000|RR x4|scen=1|warm|ii=600|k=auto",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("cell %d id %q, want %q", i, ids[i], want[i])
+		}
+	}
+
+	auto := k.Cells()[1]
+	sw := k.SweepSpec(auto)
+	if sw.Kernel != "auto" || sw.InitialInfections != 1 {
+		t.Fatalf("sweep spec kernel=%q ii=%d, want auto/1", sw.Kernel, sw.InitialInfections)
+	}
+	if err := sw.Validate(); err != nil {
+		t.Fatalf("kernel cell's sweep spec invalid: %v", err)
+	}
+
+	// The matrix preset's extra kernel cells ride after the crossed axes
+	// and never collide with them.
+	m, _ := Preset("matrix")
+	cells := m.Cells()
+	tail := cells[len(cells)-4:]
+	for _, c := range tail {
+		if c.Seeding == 0 {
+			t.Fatalf("extra cell %s has default seeding", c.ID())
+		}
+	}
+	if tail[1].Kernel != "auto" || tail[3].Kernel != "auto" {
+		t.Fatalf("extra cells %v missing auto kernels", tail)
 	}
 }
 
@@ -87,6 +146,49 @@ func TestParseSpecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseSpecKernelAxis round-trips a spec file using the kernel,
+// seeding and extra-cell fields through the strict parser.
+func TestParseSpecKernelAxis(t *testing.T) {
+	in := `{
+		"name": "custom",
+		"populations": [{"name": "t", "people": 100, "locations": 10}],
+		"strategies": [{"strategy": "RR"}],
+		"ranks": [2],
+		"cache_states": ["warm"],
+		"kernels": ["", "auto"],
+		"seedings": [1, 50],
+		"extra_cells": [{
+			"population": {"name": "t", "people": 100, "locations": 10},
+			"strategy": {"strategy": "RR"},
+			"ranks": 4,
+			"scenarios": 1,
+			"cache_state": "warm",
+			"kernel": "event",
+			"seeding": 3
+		}],
+		"replicates": 1,
+		"days": 2,
+		"seed": 1,
+		"cell_timeout": "10s"
+	}`
+	s, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cells()
+	if len(cells) != 5 { // 2 kernels × 2 seedings + 1 extra
+		t.Fatalf("got %d cells: %+v", len(cells), cells)
+	}
+	last := cells[4]
+	if got, want := last.ID(), "t|RR x4|scen=1|warm|ii=3|k=event"; got != want {
+		t.Fatalf("extra cell id %q, want %q", got, want)
+	}
+	sw := s.SweepSpec(last)
+	if sw.Kernel != "event" || sw.InitialInfections != 3 {
+		t.Fatalf("extra cell sweep kernel=%q ii=%d", sw.Kernel, sw.InitialInfections)
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	base := func() *Spec {
 		s := stubSpec(time.Second)
@@ -101,6 +203,20 @@ func TestSpecValidation(t *testing.T) {
 		"zero rank":       func(s *Spec) { s.Ranks = []int{0} },
 		"zero scenarios":  func(s *Spec) { s.ScenarioCounts = []int{0} },
 		"bad cache state": func(s *Spec) { s.CacheStates = []string{"lukewarm"} },
+		"bad kernel":      func(s *Spec) { s.Kernels = []string{"gillespie"} },
+		"negative seed":   func(s *Spec) { s.Seedings = []int{-1} },
+		"bad extra cell": func(s *Spec) {
+			s.Extra = []CellConfig{{
+				Population: s.Populations[0], Strategy: s.Strategies[0],
+				Ranks: 2, Scenarios: 1, CacheState: "lukewarm",
+			}}
+		},
+		"bad extra kernel": func(s *Spec) {
+			s.Extra = []CellConfig{{
+				Population: s.Populations[0], Strategy: s.Strategies[0],
+				Ranks: 2, Scenarios: 1, CacheState: CacheWarm, Kernel: "sparse",
+			}}
+		},
 	} {
 		s := base()
 		breakIt(s)

@@ -191,6 +191,12 @@ func mergeStats(into *client.StatsReply, st client.StatsReply) {
 	into.SweepsEvicted += st.SweepsEvicted
 	into.CellsStreamed += st.CellsStreamed
 	into.CellsPerSec += st.CellsPerSec
+	for k, n := range st.KernelDays {
+		if into.KernelDays == nil {
+			into.KernelDays = make(map[string]int64)
+		}
+		into.KernelDays[k] += n
+	}
 	mergeCache(&into.PopulationCache, st.PopulationCache)
 	mergeCache(&into.PlacementCache, st.PlacementCache)
 	mergeStore(&into.PopulationStore, st.PopulationStore)

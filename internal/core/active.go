@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/charm"
+	"repro/internal/synthpop"
+	"repro/internal/xrand"
+)
+
+// Active-set day stepping (Config.Kernel "auto"): instead of
+// broadcasting every phase to every manager, the engine walks the
+// infectious frontier, marks the locations it can reach through kept
+// visits, and targets only the managers owning active work. Because
+// every stochastic draw is keyed by content, skipping a person or
+// location whose work prices to zero cannot perturb any other draw —
+// the trajectory (new infections, state counts, attack rate) stays
+// byte-identical to the dense kernel; only the phase statistics reflect
+// the reduced message and DES volume.
+//
+// The byte-identity argument, in full:
+//
+//   - an infection can only originate at a location visited by at least
+//     one effectively infectious person whose visit survived the
+//     behavioral filters (the DES requires src.Infectivity > 0);
+//   - the frontier walk evaluates exactly those filters with exactly the
+//     keyed draws the dense person phase makes, so the marked set is
+//     precisely the set of locations where dense could transmit;
+//   - every static visitor of a marked location re-evaluates its own
+//     schedule through the same shared filter, so marked locations
+//     receive exactly the dense kernel's kept-visit multiset, and the
+//     per-location DES output is arrival-order-insensitive;
+//   - unmarked locations receive nothing and would have produced no
+//     infections; and
+//   - phase 3 resolves the same infect-message multiset in the same
+//     canonical order and progresses the same set of persons (only
+//     persons with DaysLeft >= 0 can change state without an exposure).
+
+// keepVisit evaluates the behavioral filters (isolation, closures,
+// demand reduction) for one visit, making exactly the keyed draws the
+// dense person phase makes. Shared by the dense and active person
+// phases, the frontier walk and the event kernel, so the four can never
+// disagree about which visits happen.
+func (e *Engine) keepVisit(p int32, isolated bool, locID int32, loc *synthpop.Location, day int) bool {
+	if loc.Type == synthpop.Home {
+		return true
+	}
+	if isolated {
+		return false
+	}
+	eff := e.effects
+	typeName := loc.Type.String()
+	if eff.Closed(typeName) {
+		return false
+	}
+	if r := eff.Reduction(typeName); r > 0 {
+		if xrand.KeyedFloat64(0x4edc, e.cfg.Seed, uint64(p), uint64(locID), uint64(day)) < r {
+			return false
+		}
+	}
+	return true
+}
+
+// applyVaccination runs the day's vaccination campaign engine-side: the
+// dense kernel applies it inside computeVisits for every person, but the
+// active paths only visit active persons, so the campaign moves up
+// front. The draw is keyed by (seed, person, day) — identical to the
+// dense kernel's, so applying it earlier in the day is byte-equivalent.
+func (e *Engine) applyVaccination(day int) {
+	vaccinate := e.effects.VaccinateNow
+	if vaccinate <= 0 {
+		return
+	}
+	vacID, hasVac := e.model.TreatmentByName("vaccinated")
+	if !hasVac {
+		return
+	}
+	for p := range e.health {
+		hs := &e.health[p]
+		if hs.Treatment != 0 {
+			continue
+		}
+		if xrand.KeyedFloat64(0xacc1, e.cfg.Seed, uint64(p), uint64(day)) < vaccinate {
+			hs.Treatment = vacID
+		}
+	}
+}
+
+// ensureActiveState lazily allocates the active-set scratch and the
+// inverted static schedule (visit indices grouped by location) on the
+// first non-dense day, so purely dense runs pay nothing for it.
+func (e *Engine) ensureActiveState() {
+	if e.activeLoc != nil {
+		return
+	}
+	nP, nL := e.pop.NumPersons(), e.pop.NumLocations()
+	e.activeLoc = make([]bool, nL)
+	e.personMark = make([]bool, nP)
+	e.activePersons = make([][]int32, len(e.pmHealth))
+
+	counts := make([]int32, nL)
+	for i := range e.pop.Visits {
+		counts[e.pop.Visits[i].Loc]++
+	}
+	flat := make([]int32, len(e.pop.Visits))
+	e.visitsAtLoc = make([][]int32, nL)
+	off := 0
+	for l := range e.visitsAtLoc {
+		end := off + int(counts[l])
+		e.visitsAtLoc[l] = flat[off:off:end]
+		off = end
+	}
+	for i := range e.pop.Visits {
+		l := e.pop.Visits[i].Loc
+		e.visitsAtLoc[l] = append(e.visitsAtLoc[l], int32(i))
+	}
+}
+
+// markActive records one location as reachable from the frontier today.
+func (e *Engine) markActive(locID int32) {
+	if e.activeLoc[locID] {
+		return
+	}
+	e.activeLoc[locID] = true
+	e.activeLocList = append(e.activeLocList, locID)
+}
+
+// markFrontierLocations walks the effectively infectious frontier and
+// marks every location one of its kept visits reaches. In mixing mode a
+// marked location activates its whole fragment family, because dense
+// replicates infectious visitors across sibling fragments (Figure 6(b)).
+func (e *Engine) markFrontierLocations(day int) {
+	for pmID := range e.pmHealth {
+		for _, p := range e.pmHealth[pmID].infectious {
+			hs := &e.health[p]
+			if e.model.Infectivity(hs.State, hs.Treatment) <= 0 {
+				continue
+			}
+			isolated := e.effects.Isolated(e.stateNames[hs.State])
+			for _, v := range e.pop.PersonVisits(p) {
+				loc := &e.pop.Locations[v.Loc]
+				if !e.keepVisit(p, isolated, v.Loc, loc, day) {
+					continue
+				}
+				e.markActive(v.Loc)
+				if e.cfg.Mixing > 0 {
+					for _, frag := range e.fragments[loc.Origin] {
+						e.markActive(frag)
+					}
+				}
+			}
+		}
+	}
+}
+
+// clearActiveScratch resets the per-day marks in O(active) time.
+func (e *Engine) clearActiveScratch() {
+	for _, locID := range e.activeLocList {
+		e.activeLoc[locID] = false
+	}
+	e.activeLocList = e.activeLocList[:0]
+	for pmID := range e.activePersons {
+		for _, p := range e.activePersons[pmID] {
+			e.personMark[p] = false
+		}
+		e.activePersons[pmID] = e.activePersons[pmID][:0]
+	}
+}
+
+// runDayActive executes one day of the active-set stepper. Days with an
+// empty frontier skip phases 1 and 2 entirely (no location can
+// transmit); phase 3 runs only on managers holding buffered infections
+// or progressing persons, so a fully quiescent day costs O(managers).
+func (e *Engine) runDayActive(day int) DayReport {
+	rep := DayReport{Day: day, Kernel: kernelActive}
+	e.stepScenario(day)
+	e.applyVaccination(day)
+	e.ensureActiveState()
+
+	if e.locEvents != nil {
+		for i := range e.locEvents {
+			e.locEvents[i] = 0
+			e.locInteractions[i] = 0
+		}
+	}
+
+	e.markFrontierLocations(day)
+	if len(e.activeLocList) > 0 {
+		// Active person set: every static visitor of an active location,
+		// deduped and bucketed per PM.
+		for _, locID := range e.activeLocList {
+			for _, vi := range e.visitsAtLoc[locID] {
+				p := e.pop.Visits[vi].Person
+				if e.personMark[p] {
+					continue
+				}
+				e.personMark[p] = true
+				pmID := e.pmOf[p]
+				e.activePersons[pmID] = append(e.activePersons[pmID], p)
+			}
+		}
+
+		// Phase 1: person phase, targeted at PMs owning active persons.
+		for pmID := range e.activePersons {
+			ps := e.activePersons[pmID]
+			if len(ps) == 0 {
+				continue
+			}
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+			e.rt.Send(charm.ChareRef{Array: e.pmArr, Index: int32(pmID)}, msgComputeVisitsActive{Day: day})
+		}
+		rep.PersonPhase = e.rt.Drain()
+
+		// Phase 2: location phase, targeted at LMs owning active locations.
+		lmNeeded := make([]bool, e.rt.ArrayLen(e.lmArr))
+		for _, locID := range e.activeLocList {
+			lmID := e.lmOf[locID]
+			if lmNeeded[lmID] {
+				continue
+			}
+			lmNeeded[lmID] = true
+			e.rt.Send(charm.ChareRef{Array: e.lmArr, Index: lmID}, msgRunDESActive{Day: day})
+		}
+		rep.LocationPhase = e.rt.Drain()
+		rep.Events = rep.LocationPhase.Reductions["events"]
+		rep.Interactions = rep.LocationPhase.Reductions["interactions"]
+		rep.Trials = rep.LocationPhase.Reductions["trials"]
+	}
+
+	// Phase 3: apply updates, targeted at PMs with buffered infections
+	// or progressing persons.
+	sent := false
+	for pmID := range e.pmHealth {
+		if len(e.infectionBuf[pmID]) == 0 && len(e.pmHealth[pmID].progressing) == 0 {
+			continue
+		}
+		e.rt.Send(charm.ChareRef{Array: e.pmArr, Index: int32(pmID)}, msgApplyUpdatesActive{Day: day})
+		sent = true
+	}
+	if sent {
+		rep.UpdatePhase = e.rt.Drain()
+		rep.NewInfections = rep.UpdatePhase.Reductions["newinfections"]
+		e.cumulative += rep.NewInfections
+	}
+	rep.Counts = e.stateCounts64()
+
+	e.clearActiveScratch()
+	e.effects.Tick()
+	return rep
+}
+
+// computeVisitsActive is the active-set person phase: only this PM's
+// active persons evaluate their schedules, and only visits to active
+// locations are sent. Vaccination already ran engine-side.
+func (pm *personManager) computeVisitsActive(ctx *charm.Ctx, day int) {
+	e := pm.eng
+	for _, p := range e.activePersons[pm.id] {
+		pm.sendVisits(ctx, p, day, e.activeLoc)
+	}
+}
+
+// applyUpdatesActive is the active-set update phase: the same canonical
+// infection resolution as dense, but progression walks only the
+// progressing set instead of every person this PM owns. State counts
+// come from the incremental counters, so no per-person reduction is
+// contributed.
+func (pm *personManager) applyUpdatesActive(ctx *charm.Ctx, day int) {
+	e := pm.eng
+	if n := pm.resolveInfections(day); n > 0 {
+		ctx.Contribute("newinfections", n)
+	}
+	// transitionPerson may swap-remove the person under the cursor; the
+	// slot is then re-examined instead of advanced past. Fresh infections
+	// were added above, before this walk, so they receive their same-day
+	// dwell decrement exactly as the dense kernel's full scan gives them.
+	h := &e.pmHealth[pm.id]
+	for i := 0; i < len(h.progressing); {
+		p := h.progressing[i]
+		e.progressPerson(p, day)
+		if i < len(h.progressing) && h.progressing[i] == p {
+			i++
+		}
+	}
+}

@@ -71,7 +71,54 @@ type Config struct {
 	// (events and interactions), the measurement input of dynamic load
 	// balancing (Section VII future work). Costs two int64 slices.
 	CollectLocationLoads bool
+
+	// Kernel selects the per-day simulation kernel:
+	//
+	//   - "" or "dense": the paper's day-stepped algorithm, broadcasting
+	//     every phase to every manager (the historical behavior).
+	//   - "auto": active-set day stepping — phases 1 and 2 touch only the
+	//     locations reachable from the infectious frontier and the persons
+	//     visiting them, and days with no infectious person skip those
+	//     phases entirely. Byte-identical to "dense" (same keyed draws,
+	//     same infection multisets); only the phase statistics reflect the
+	//     reduced work.
+	//   - "event": a Gillespie/FastSIR event-driven kernel while
+	//     prevalence is below KernelThreshold (per-person infection
+	//     hazards accumulated off the frontier, exponential waiting
+	//     times); above the threshold (with hysteresis, so the choice
+	//     doesn't flap day to day) it runs the active-set day stepper.
+	//     Statistically equivalent to "dense", not byte-identical.
+	Kernel string
+	// KernelThreshold is the infectious-prevalence fraction below which
+	// Kernel "event" uses the Gillespie path (default 0.01). The event
+	// kernel re-engages only after prevalence falls below the threshold
+	// and disengages once it exceeds 1.5× the threshold.
+	KernelThreshold float64
 }
+
+// Kernel names accepted by Config.Kernel (the empty string means dense).
+const (
+	KernelDense = "dense"
+	KernelAuto  = "auto"
+	KernelEvent = "event"
+
+	// kernelActive labels a day executed by the active-set stepper in
+	// DayReport.Kernel; it is not a Config.Kernel value.
+	kernelActive = "active"
+)
+
+// eventExitFactor is the hysteresis band of the event kernel: it
+// disengages only above KernelThreshold×eventExitFactor.
+const eventExitFactor = 1.5
+
+// denseSwitchNum/denseSwitchDen bound the active stepper's overhead: when
+// more than 1/4 of the population is infectious the frontier walk and
+// active-set construction stop paying for themselves, so "auto" runs a
+// plain dense day (byte-identical either way).
+const (
+	denseSwitchNum = 1
+	denseSwitchDen = 4
+)
 
 // DayReport describes one simulated day.
 type DayReport struct {
@@ -86,6 +133,10 @@ type DayReport struct {
 	Events       int64
 	Interactions int64
 	Trials       int64
+	// Kernel names the kernel that executed this day ("dense", "active"
+	// or "event"); empty when the engine runs with the default kernel, so
+	// historical JSON output is byte-stable.
+	Kernel string `json:"Kernel,omitempty"`
 }
 
 // Result is a completed simulation.
@@ -94,6 +145,9 @@ type Result struct {
 	TotalInfections int64
 	AttackRate      float64
 	FinalCounts     map[string]int64
+	// KernelDays counts simulated days per executing kernel; nil when the
+	// engine ran with the default (unlabeled) dense kernel.
+	KernelDays map[string]int64 `json:"KernelDays,omitempty"`
 }
 
 // EpiCurve returns the daily new-infection series.
@@ -141,6 +195,42 @@ type Engine struct {
 	// LM, and LMs on a PE run serially, so no synchronization is needed.
 	locEvents       []int64
 	locInteractions []int64
+
+	// Incremental health bookkeeping, one slab per PM so parallel update
+	// phases mutate disjoint memory: per-state population counts plus the
+	// two sparse sets the active and event kernels walk instead of the
+	// whole population. The engine-wide position arrays are safe to share
+	// because every person belongs to exactly one PM.
+	pmHealth []pmHealth
+	infPos   []int32 // person → index in its PM's infectious set (-1 = absent)
+	progPos  []int32 // person → index in its PM's progressing set (-1 = absent)
+	// stateInfectious caches state-level infectiousness per StateID.
+	stateInfectious []bool
+
+	// eventOn is the event kernel's hysteresis latch: true while the
+	// Gillespie path is engaged.
+	eventOn bool
+
+	// Active-set scratch, allocated lazily on the first non-dense day.
+	// visitsAtLoc is the inverted static schedule: visit indices into
+	// pop.Visits grouped by location.
+	visitsAtLoc   [][]int32
+	activeLoc     []bool  // location → active this day (read-only during phases)
+	activeLocList []int32 // the marked locations, for O(active) clearing
+	activePersons [][]int32
+	personMark    []bool
+}
+
+// pmHealth is one PersonManager's slab of incremental health bookkeeping.
+type pmHealth struct {
+	// counts[s] is the number of this PM's persons currently in state s.
+	counts []int64
+	// infectious holds persons whose *state* is infectious (effective
+	// infectivity may still be zeroed by a treatment; callers re-check).
+	infectious []int32
+	// progressing holds persons with DaysLeft >= 0 — everyone whose
+	// health state can still change without a new exposure.
+	progressing []int32
 }
 
 // visitMsg is one visit message (paper Section II-B step 1): person,
@@ -172,6 +262,12 @@ type msgComputeVisits struct{ Day int }
 type msgRunDES struct{ Day int }
 type msgApplyUpdates struct{ Day int }
 
+// Active-set control messages, sent point-to-point only to managers that
+// own active work this day (see runDayActive).
+type msgComputeVisitsActive struct{ Day int }
+type msgRunDESActive struct{ Day int }
+type msgApplyUpdatesActive struct{ Day int }
+
 // New validates the configuration and builds the engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Population == nil {
@@ -194,6 +290,20 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.InitialInfections <= 0 {
 		cfg.InitialInfections = max(1, cfg.Population.NumPersons()/2000)
+	}
+	switch cfg.Kernel {
+	case "", KernelDense, KernelAuto, KernelEvent:
+	default:
+		return nil, fmt.Errorf("core: unknown kernel %q (want dense, auto or event)", cfg.Kernel)
+	}
+	if cfg.Kernel == KernelEvent && cfg.Mixing > 0 {
+		return nil, fmt.Errorf("core: kernel %q does not support inter-sublocation mixing", KernelEvent)
+	}
+	if cfg.KernelThreshold < 0 || cfg.KernelThreshold > 1 {
+		return nil, fmt.Errorf("core: kernel threshold %g outside [0,1]", cfg.KernelThreshold)
+	}
+	if cfg.KernelThreshold == 0 {
+		cfg.KernelThreshold = 0.01
 	}
 	nP := cfg.Population.NumPersons()
 	nL := cfg.Population.NumLocations()
@@ -307,7 +417,63 @@ func New(cfg Config) (*Engine, error) {
 		return &locationManager{eng: e, id: i, locs: locsOfLM[i],
 			pending: make(map[int32][]des.Visitor)}
 	}, func(i int32) charm.PE { return i / int32(cfg.ChareFactor) })
+
+	// Incremental health bookkeeping: one scan after seeding (seeding
+	// above runs before the PM assignment exists).
+	e.stateInfectious = make([]bool, e.model.NumStates())
+	for s := range e.stateInfectious {
+		e.stateInfectious[s] = e.model.IsInfectious(disease.StateID(s))
+	}
+	e.pmHealth = make([]pmHealth, numPM)
+	for pm := range e.pmHealth {
+		e.pmHealth[pm].counts = make([]int64, e.model.NumStates())
+	}
+	e.infPos = make([]int32, nP)
+	e.progPos = make([]int32, nP)
+	for p := range e.infPos {
+		e.infPos[p] = -1
+		e.progPos[p] = -1
+	}
+	for p := int32(0); p < int32(nP); p++ {
+		hs := &e.health[p]
+		h := &e.pmHealth[pmOf[p]]
+		h.counts[hs.State]++
+		if e.stateInfectious[hs.State] {
+			sparseAdd(&h.infectious, e.infPos, p)
+		}
+		if hs.DaysLeft >= 0 {
+			sparseAdd(&h.progressing, e.progPos, p)
+		}
+	}
+	// The event kernel starts engaged: seeding regimes are sparse by
+	// construction, and the hysteresis latch takes over from day 1.
+	e.eventOn = cfg.Kernel == KernelEvent
 	return e, nil
+}
+
+// sparseAdd inserts p into a swap-removable sparse set (no-op when
+// already present).
+func sparseAdd(items *[]int32, pos []int32, p int32) {
+	if pos[p] >= 0 {
+		return
+	}
+	pos[p] = int32(len(*items))
+	*items = append(*items, p)
+}
+
+// sparseRemove deletes p by swapping the last element into its slot
+// (no-op when absent).
+func sparseRemove(items *[]int32, pos []int32, p int32) {
+	i := pos[p]
+	if i < 0 {
+		return
+	}
+	last := int32(len(*items) - 1)
+	q := (*items)[last]
+	(*items)[i] = q
+	pos[q] = i
+	*items = (*items)[:last]
+	pos[p] = -1
 }
 
 // LocationLoads returns the previous day's per-location measured workload
@@ -367,6 +533,66 @@ func (e *Engine) infectPerson(p int32, day int) {
 	e.cumulative++
 }
 
+// transitionPerson moves p to state s with the given dwell, keeping the
+// per-PM incremental counters and sparse sets coherent. Every post-New
+// state mutation must go through here (or applyInfection), on every
+// kernel — the dense path maintains the same bookkeeping so kernels can
+// alternate day by day without a rescan.
+func (e *Engine) transitionPerson(p int32, s disease.StateID, daysLeft int32) {
+	hs := &e.health[p]
+	h := &e.pmHealth[e.pmOf[p]]
+	old := hs.State
+	if old != s {
+		h.counts[old]--
+		h.counts[s]++
+		if e.stateInfectious[old] != e.stateInfectious[s] {
+			if e.stateInfectious[s] {
+				sparseAdd(&h.infectious, e.infPos, p)
+			} else {
+				sparseRemove(&h.infectious, e.infPos, p)
+			}
+		}
+	}
+	hs.State = s
+	hs.DaysLeft = daysLeft
+	if daysLeft >= 0 {
+		sparseAdd(&h.progressing, e.progPos, p)
+	} else {
+		sparseRemove(&h.progressing, e.progPos, p)
+	}
+}
+
+// applyInfection resolves a successful exposure of p on day: the same
+// transition applyUpdates has always performed, routed through the
+// incremental bookkeeping.
+func (e *Engine) applyInfection(p int32, day int) {
+	e.transitionPerson(p, e.model.InfectTarget,
+		int32(e.model.SampleDwell(e.model.InfectTarget, uint64(p), uint64(day))))
+	e.health[p].Infected = true
+}
+
+// progressPerson advances p's dwell clock and PTTS transition for one
+// day — the shared phase-3 progression step of every kernel.
+func (e *Engine) progressPerson(p int32, day int) {
+	hs := &e.health[p]
+	if hs.DaysLeft > 0 {
+		hs.DaysLeft--
+	}
+	if hs.DaysLeft == 0 {
+		next, ok := e.model.NextState(hs.State, hs.Treatment, uint64(p), uint64(day))
+		if ok {
+			d := e.model.SampleDwell(next, uint64(p), uint64(day))
+			nd := int32(d)
+			if d > 1<<30 {
+				nd = -1 // absorbing
+			}
+			e.transitionPerson(p, next, nd)
+		} else {
+			e.transitionPerson(p, hs.State, -1)
+		}
+	}
+}
+
 // RunDay executes a single simulated day (day numbers start at 1) and
 // returns its report. It powers step-wise drivers such as dynamic load
 // balancing loops; most callers use Run.
@@ -378,6 +604,12 @@ func (e *Engine) Run() (*Result, error) {
 	for day := 1; day <= e.cfg.Days; day++ {
 		rep := e.runDay(day)
 		res.Days = append(res.Days, rep)
+		if rep.Kernel != "" {
+			if res.KernelDays == nil {
+				res.KernelDays = make(map[string]int64)
+			}
+			res.KernelDays[rep.Kernel]++
+		}
 	}
 	res.TotalInfections = e.cumulative
 	if n := e.pop.NumPersons(); n > 0 {
@@ -389,20 +621,71 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
+// runDay dispatches one simulated day to the configured kernel.
 func (e *Engine) runDay(day int) DayReport {
-	rep := DayReport{Day: day}
+	switch e.cfg.Kernel {
+	case KernelAuto:
+		return e.runDayAuto(day)
+	case KernelEvent:
+		prevalence := float64(e.infectiousCount()) / float64(max(1, e.pop.NumPersons()))
+		if e.eventOn {
+			if prevalence > eventExitFactor*e.cfg.KernelThreshold {
+				e.eventOn = false
+			}
+		} else if prevalence < e.cfg.KernelThreshold {
+			e.eventOn = true
+		}
+		if e.eventOn {
+			return e.runDayEvent(day)
+		}
+		return e.runDayAuto(day)
+	case KernelDense:
+		return e.runDayDense(day, KernelDense)
+	default:
+		return e.runDayDense(day, "")
+	}
+}
+
+// runDayAuto runs the active-set stepper, falling back to a plain dense
+// day (byte-identical by construction) once the frontier is so large
+// that active-set construction stops paying for itself.
+func (e *Engine) runDayAuto(day int) DayReport {
+	if e.infectiousCount()*denseSwitchDen > int64(e.pop.NumPersons())*denseSwitchNum {
+		return e.runDayDense(day, KernelDense)
+	}
+	return e.runDayActive(day)
+}
+
+// infectiousCount is the number of persons in a state-level infectious
+// state (the prevalence measure of kernel switching).
+func (e *Engine) infectiousCount() int64 {
+	var n int64
+	for pm := range e.pmHealth {
+		n += int64(len(e.pmHealth[pm].infectious))
+	}
+	return n
+}
+
+// stepScenario triggers interventions on the state of the world this
+// morning (shared preamble of every kernel).
+func (e *Engine) stepScenario(day int) {
+	if e.cfg.Scenario == nil {
+		return
+	}
+	env := interventions.Env{
+		Day:                day,
+		Population:         e.pop.NumPersons(),
+		Counts:             e.countStates(),
+		CumulativeInfected: int(e.cumulative),
+	}
+	e.cfg.Scenario.Step(env, e.effects)
+}
+
+func (e *Engine) runDayDense(day int, kernel string) DayReport {
+	rep := DayReport{Day: day, Kernel: kernel}
 
 	// Interventions trigger on the state of the world this morning.
-	if e.cfg.Scenario != nil {
-		counts := e.countStates()
-		env := interventions.Env{
-			Day:                day,
-			Population:         e.pop.NumPersons(),
-			Counts:             counts,
-			CumulativeInfected: int(e.cumulative),
-		}
-		e.cfg.Scenario.Step(env, e.effects)
-	}
+	e.stepScenario(day)
 
 	// Phase 1: person phase.
 	e.rt.Broadcast(e.pmArr, msgComputeVisits{Day: day})
@@ -435,17 +718,34 @@ func (e *Engine) runDay(day int) DayReport {
 	return rep
 }
 
+// countStates sums the per-PM incremental counters — O(managers ×
+// states) instead of the full-population rescan it replaced. Only
+// occupied states appear in the map, matching the historical rescan.
 func (e *Engine) countStates() map[string]int {
 	counts := make(map[string]int, len(e.stateNames))
-	for p := range e.health {
-		counts[e.stateNames[e.health[p].State]]++
+	for s, name := range e.stateNames {
+		var n int64
+		for pm := range e.pmHealth {
+			n += e.pmHealth[pm].counts[s]
+		}
+		if n != 0 {
+			counts[name] = int(n)
+		}
 	}
 	return counts
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// stateCounts64 builds the DayReport.Counts map from the incremental
+// counters, with an entry for every state (zeros included) exactly as
+// the dense path's reduction-derived map has.
+func (e *Engine) stateCounts64() map[string]int64 {
+	counts := make(map[string]int64, len(e.stateNames))
+	for s, name := range e.stateNames {
+		var n int64
+		for pm := range e.pmHealth {
+			n += e.pmHealth[pm].counts[s]
+		}
+		counts[name] = n
 	}
-	return b
+	return counts
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Gillespie/FastSIR event kernel (Config.Kernel "event"): in the sparse
+// regime, instead of replaying per-location discrete-event simulations,
+// the engine aggregates per-person infection hazards keyed off the
+// infected frontier and draws one exponential waiting time per exposed
+// susceptible.
+//
+// The dense DES makes an independent Bernoulli trial per infectious
+// contact with escape probability exp(-τ·inf·sus·overlap); independent
+// escape probabilities multiply, so the day's total survival is
+// exp(-Λ_p) with Λ_p = τ·sus_p·Σ_src inf_src·overlap(src,p). Drawing an
+// Exp(Λ_p) waiting time and infecting iff it lands inside the day is
+// distribution-identical to the per-contact trials — but it collapses
+// each susceptible's day to one uniform draw, so trajectories are
+// statistically equivalent to the dense kernel (same attack-rate and
+// peak distributions), not byte-identical. The equivalence is enforced
+// by a CI-overlap oracle in kernel_test.go.
+
+// srcVisit is one kept visit of an effectively infectious person.
+type srcVisit struct {
+	person     int32
+	sub        int32
+	start, end int16
+	inf        float64
+}
+
+// runDayEvent executes one day of the event kernel. It reuses the
+// active-set frontier walk to find the reachable locations, then
+// resolves transmission analytically instead of via the DES.
+func (e *Engine) runDayEvent(day int) DayReport {
+	rep := DayReport{Day: day, Kernel: KernelEvent}
+	e.stepScenario(day)
+	e.applyVaccination(day)
+	e.ensureActiveState()
+
+	if e.locEvents != nil {
+		for i := range e.locEvents {
+			e.locEvents[i] = 0
+			e.locInteractions[i] = 0
+		}
+	}
+
+	// Collect the frontier's kept visits, grouped by location. This also
+	// marks the active locations (event mode refuses Mixing > 0, so no
+	// fragment families to expand).
+	var srcs map[int32][]srcVisit
+	for pmID := range e.pmHealth {
+		for _, p := range e.pmHealth[pmID].infectious {
+			hs := &e.health[p]
+			inf := e.model.Infectivity(hs.State, hs.Treatment)
+			if inf <= 0 {
+				continue
+			}
+			isolated := e.effects.Isolated(e.stateNames[hs.State])
+			for _, v := range e.pop.PersonVisits(p) {
+				loc := &e.pop.Locations[v.Loc]
+				if !e.keepVisit(p, isolated, v.Loc, loc, day) {
+					continue
+				}
+				e.markActive(v.Loc)
+				if srcs == nil {
+					srcs = make(map[int32][]srcVisit)
+				}
+				srcs[v.Loc] = append(srcs[v.Loc], srcVisit{
+					person: v.Person, sub: v.Sub, start: v.Start, end: v.End, inf: inf,
+				})
+			}
+		}
+	}
+
+	// Hazard accumulation. Locations are walked in ascending id order and
+	// susceptibles in visit order within each, so the floating-point
+	// accumulation order — and with it the whole trajectory — is
+	// deterministic for a given seed.
+	locs := append([]int32(nil), e.activeLocList...)
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	tau := e.model.Transmissibility
+	lambda := make(map[int32]float64)
+	var persons []int32
+	var interactions, trials int64
+	for _, locID := range locs {
+		sv := srcs[locID]
+		for _, vi := range e.visitsAtLoc[locID] {
+			v := &e.pop.Visits[vi]
+			p := v.Person
+			hs := &e.health[p]
+			sus := e.model.Susceptibility(hs.State, hs.Treatment)
+			if sus <= 0 {
+				continue
+			}
+			isolated := e.effects.Isolated(e.stateNames[hs.State])
+			if !e.keepVisit(p, isolated, v.Loc, &e.pop.Locations[v.Loc], day) {
+				continue
+			}
+			var h float64
+			for i := range sv {
+				s := &sv[i]
+				if s.person == p || s.sub != v.Sub {
+					continue
+				}
+				start := v.Start
+				if s.start > start {
+					start = s.start
+				}
+				end := v.End
+				if s.end < end {
+					end = s.end
+				}
+				if end <= start {
+					continue
+				}
+				h += s.inf * float64(end-start)
+				interactions++
+			}
+			if h > 0 {
+				if _, ok := lambda[p]; !ok {
+					persons = append(persons, p)
+				}
+				lambda[p] += tau * sus * h
+			}
+		}
+	}
+
+	// One exponential waiting time per exposed susceptible: infect iff
+	// t = -ln(1-u)/Λ lands inside the day, i.e. -log1p(-u) < Λ.
+	sort.Slice(persons, func(i, j int) bool { return persons[i] < persons[j] })
+	var newInf int64
+	for _, p := range persons {
+		trials++
+		u := xrand.KeyedFloat64(0x6e4a7, e.cfg.Seed, uint64(day), uint64(p))
+		if -math.Log1p(-u) < lambda[p] {
+			e.applyInfection(p, day)
+			newInf++
+		}
+	}
+
+	// Progression over the progressing sets only, with the same
+	// swap-remove-safe walk as the active update phase.
+	for pmID := range e.pmHealth {
+		h := &e.pmHealth[pmID].progressing
+		for i := 0; i < len(*h); {
+			p := (*h)[i]
+			e.progressPerson(p, day)
+			if i < len(*h) && (*h)[i] == p {
+				i++
+			}
+		}
+	}
+
+	rep.NewInfections = newInf
+	e.cumulative += newInf
+	rep.Interactions = interactions
+	rep.Trials = trials
+	rep.Counts = e.stateCounts64()
+
+	e.clearActiveScratch()
+	e.effects.Tick()
+	return rep
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/charm"
 	"repro/internal/des"
-	"repro/internal/synthpop"
 	"repro/internal/xrand"
 )
 
@@ -25,6 +24,10 @@ func (pm *personManager) Recv(ctx *charm.Ctx, msg charm.Message) {
 		pm.eng.infectionBuf[pm.id] = append(pm.eng.infectionBuf[pm.id], m)
 	case msgApplyUpdates:
 		pm.applyUpdates(ctx, m.Day)
+	case msgComputeVisitsActive:
+		pm.computeVisitsActive(ctx, m.Day)
+	case msgApplyUpdatesActive:
+		pm.applyUpdatesActive(ctx, m.Day)
 	default:
 		panic("core: personManager received unknown message")
 	}
@@ -48,52 +51,58 @@ func (pm *personManager) computeVisits(ctx *charm.Ctx, day int) {
 				hs.Treatment = vacID
 			}
 		}
-		stateName := e.stateNames[hs.State]
-		isolated := eff.Isolated(stateName)
-		inf := e.model.Infectivity(hs.State, hs.Treatment)
-		sus := e.model.Susceptibility(hs.State, hs.Treatment)
+		pm.sendVisits(ctx, p, day, nil)
+	}
+}
 
-		for _, v := range e.pop.PersonVisits(p) {
-			loc := &e.pop.Locations[v.Loc]
-			typeName := loc.Type.String()
-			if loc.Type != synthpop.Home {
-				if isolated {
-					continue
-				}
-				if eff.Closed(typeName) {
-					continue
-				}
-				if r := eff.Reduction(typeName); r > 0 {
-					if xrand.KeyedFloat64(0x4edc, e.cfg.Seed, uint64(p), uint64(v.Loc), uint64(day)) < r {
-						continue
-					}
-				}
-			}
-			msg := visitMsg{
-				Person:  p,
-				Loc:     v.Loc,
-				Sub:     v.Sub,
-				OrigSub: loc.SubBase + v.Sub,
-				Start:   v.Start,
-				End:     v.End,
-				Inf:     float32(inf),
-				Sus:     float32(sus),
-			}
+// sendVisits evaluates person p's schedule for the day and sends one
+// visit message per kept visit — to every location (dense), or only to
+// locations marked in active (the active-set path). The behavioral
+// filters draw from content-keyed streams, so restricting the send set
+// cannot perturb any other draw.
+func (pm *personManager) sendVisits(ctx *charm.Ctx, p int32, day int, active []bool) {
+	e := pm.eng
+	eff := e.effects
+	hs := &e.health[p]
+	stateName := e.stateNames[hs.State]
+	isolated := eff.Isolated(stateName)
+	inf := e.model.Infectivity(hs.State, hs.Treatment)
+	sus := e.model.Susceptibility(hs.State, hs.Treatment)
+
+	for _, v := range e.pop.PersonVisits(p) {
+		loc := &e.pop.Locations[v.Loc]
+		if !e.keepVisit(p, isolated, v.Loc, loc, day) {
+			continue
+		}
+		msg := visitMsg{
+			Person:  p,
+			Loc:     v.Loc,
+			Sub:     v.Sub,
+			OrigSub: loc.SubBase + v.Sub,
+			Start:   v.Start,
+			End:     v.End,
+			Inf:     float32(inf),
+			Sus:     float32(sus),
+		}
+		if active == nil || active[v.Loc] {
 			ctx.Send(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[v.Loc]}, msg)
-			// Mixing mode on a split location: replicate the infectious
-			// visitor into the sibling fragments so cross-sublocation
-			// pairs are still evaluated (Figure 6(b): "divide the
-			// susceptibles while replicating the infectious").
-			if e.cfg.Mixing > 0 && inf > 0 {
-				for _, frag := range e.fragments[loc.Origin] {
-					if frag == v.Loc {
-						continue
-					}
-					rep := msg
-					rep.Loc = frag
-					rep.Sus = 0 // replicas infect; they are infected at home
-					ctx.Send(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[frag]}, rep)
+		}
+		// Mixing mode on a split location: replicate the infectious
+		// visitor into the sibling fragments so cross-sublocation
+		// pairs are still evaluated (Figure 6(b): "divide the
+		// susceptibles while replicating the infectious").
+		if e.cfg.Mixing > 0 && inf > 0 {
+			for _, frag := range e.fragments[loc.Origin] {
+				if frag == v.Loc {
+					continue
 				}
+				if active != nil && !active[frag] {
+					continue
+				}
+				rep := msg
+				rep.Loc = frag
+				rep.Sus = 0 // replicas infect; they are infected at home
+				ctx.Send(charm.ChareRef{Array: e.lmArr, Index: e.lmOf[frag]}, rep)
 			}
 		}
 	}
@@ -103,6 +112,22 @@ func (pm *personManager) computeVisits(ctx *charm.Ctx, day int) {
 // exposure wins), advance dwell clocks and PTTS transitions, and
 // contribute the global health-state counts.
 func (pm *personManager) applyUpdates(ctx *charm.Ctx, day int) {
+	e := pm.eng
+	if n := pm.resolveInfections(day); n > 0 {
+		ctx.Contribute("newinfections", n)
+	}
+
+	// Dwell/transition progression for everyone this PM owns.
+	for _, p := range pm.persons {
+		e.progressPerson(p, day)
+		ctx.Contribute("state:"+e.stateNames[e.health[p].State], 1)
+	}
+}
+
+// resolveInfections drains this PM's buffered infect messages in
+// canonical order and applies the successful exposures, returning the
+// new-infection count.
+func (pm *personManager) resolveInfections(day int) int64 {
 	e := pm.eng
 	buf := e.infectionBuf[pm.id]
 	e.infectionBuf[pm.id] = nil
@@ -127,39 +152,12 @@ func (pm *personManager) applyUpdates(ctx *charm.Ctx, day int) {
 		}
 		hs := &e.health[p]
 		if e.model.Susceptibility(hs.State, hs.Treatment) > 0 {
-			hs.State = e.model.InfectTarget
-			hs.DaysLeft = int32(e.model.SampleDwell(e.model.InfectTarget, uint64(p), uint64(day)))
-			hs.Infected = true
+			e.applyInfection(p, day)
 			newInf++
 		}
 		i = j
 	}
-	if newInf > 0 {
-		ctx.Contribute("newinfections", newInf)
-	}
-
-	// Dwell/transition progression for everyone this PM owns.
-	for _, p := range pm.persons {
-		hs := &e.health[p]
-		if hs.DaysLeft > 0 {
-			hs.DaysLeft--
-		}
-		if hs.DaysLeft == 0 {
-			next, ok := e.model.NextState(hs.State, hs.Treatment, uint64(p), uint64(day))
-			if ok {
-				hs.State = next
-				d := e.model.SampleDwell(next, uint64(p), uint64(day))
-				if d > 1<<30 {
-					hs.DaysLeft = -1 // absorbing
-				} else {
-					hs.DaysLeft = int32(d)
-				}
-			} else {
-				hs.DaysLeft = -1
-			}
-		}
-		ctx.Contribute("state:"+e.stateNames[hs.State], 1)
-	}
+	return newInf
 }
 
 // locationManager is an LM chare: it buffers inbound visit messages and
@@ -185,52 +183,82 @@ func (lm *locationManager) Recv(ctx *charm.Ctx, msg charm.Message) {
 		})
 	case msgRunDES:
 		lm.runDES(ctx, m.Day)
+	case msgRunDESActive:
+		lm.runDESActive(ctx, m.Day)
 	default:
 		panic("core: locationManager received unknown message")
 	}
 }
 
 func (lm *locationManager) runDES(ctx *charm.Ctx, day int) {
-	e := lm.eng
-	var result des.Result
 	var events, interactions, trials int64
+	var result des.Result
 	for _, locID := range lm.locs {
 		visitors := lm.pending[locID]
 		if len(visitors) == 0 {
 			continue
 		}
 		delete(lm.pending, locID)
-		loc := &e.pop.Locations[locID]
-		result.Reset()
-		des.Simulate(visitors, des.Params{
-			Day: uint64(day) ^ e.cfg.Seed,
-			// Keys use the pre-splitLoc identity so splitting cannot
-			// change outcomes.
-			LocKey:  uint64(loc.Origin),
-			SubBase: loc.SubBase,
-			Tau:     e.model.Transmissibility,
-			Mixing:  e.cfg.Mixing,
-		}, &result)
-		events += int64(result.Events)
-		interactions += result.Interactions
-		trials += result.Trials
-		if e.locEvents != nil {
-			e.locEvents[locID] += int64(result.Events)
-			e.locInteractions[locID] += result.Interactions
-		}
-		for _, inf := range result.Infections {
-			ctx.Send(charm.ChareRef{Array: e.pmArr, Index: e.pmOf[inf.Person]}, infectMsg{
-				Person:   inf.Person,
-				Infector: inf.Infector,
-				Minute:   inf.Minute,
-			})
-		}
+		lm.simulateLoc(ctx, &result, locID, visitors, day, &events, &interactions, &trials)
 	}
 	// Clear any leftovers (visits to locations whose DES did not run are
 	// impossible, but a stray map entry would leak across days).
 	for k := range lm.pending {
 		delete(lm.pending, k)
 	}
+	lm.contribute(ctx, events, interactions, trials)
+}
+
+// runDESActive replays only the locations that received visits. The
+// pending map's iteration order is irrelevant: each location's DES is
+// independent, infect messages are canonically re-sorted by the
+// receiving PM, and the workload counters are sums.
+func (lm *locationManager) runDESActive(ctx *charm.Ctx, day int) {
+	var events, interactions, trials int64
+	var result des.Result
+	for locID, visitors := range lm.pending {
+		delete(lm.pending, locID)
+		if len(visitors) == 0 {
+			continue
+		}
+		lm.simulateLoc(ctx, &result, locID, visitors, day, &events, &interactions, &trials)
+	}
+	lm.contribute(ctx, events, interactions, trials)
+}
+
+// simulateLoc runs one location's per-day DES and forwards the resulting
+// infect messages.
+func (lm *locationManager) simulateLoc(ctx *charm.Ctx, result *des.Result, locID int32,
+	visitors []des.Visitor, day int, events, interactions, trials *int64) {
+	e := lm.eng
+	loc := &e.pop.Locations[locID]
+	result.Reset()
+	des.Simulate(visitors, des.Params{
+		Day: uint64(day) ^ e.cfg.Seed,
+		// Keys use the pre-splitLoc identity so splitting cannot
+		// change outcomes.
+		LocKey:  uint64(loc.Origin),
+		SubBase: loc.SubBase,
+		Tau:     e.model.Transmissibility,
+		Mixing:  e.cfg.Mixing,
+	}, result)
+	*events += int64(result.Events)
+	*interactions += result.Interactions
+	*trials += result.Trials
+	if e.locEvents != nil {
+		e.locEvents[locID] += int64(result.Events)
+		e.locInteractions[locID] += result.Interactions
+	}
+	for _, inf := range result.Infections {
+		ctx.Send(charm.ChareRef{Array: e.pmArr, Index: e.pmOf[inf.Person]}, infectMsg{
+			Person:   inf.Person,
+			Infector: inf.Infector,
+			Minute:   inf.Minute,
+		})
+	}
+}
+
+func (lm *locationManager) contribute(ctx *charm.Ctx, events, interactions, trials int64) {
 	if events > 0 {
 		ctx.Contribute("events", events)
 	}

@@ -54,6 +54,10 @@ type CellResult struct {
 	// QuantileCurves[i][d] is the Spec.Quantiles[i] quantile of day d.
 	MeanCurve      []float64   `json:"mean_curve"`
 	QuantileCurves [][]float64 `json:"quantile_curves"`
+
+	// KernelDays counts simulated days per executing kernel, summed over
+	// replicates; nil when every replicate ran the default dense kernel.
+	KernelDays map[string]int64 `json:"kernel_days,omitempty"`
 }
 
 // aggregator accumulates one cell's replicates. Only the epidemic curve
@@ -72,6 +76,7 @@ type aggregator struct {
 	peakDay    []float64
 	peakHeight []float64
 	total      []float64
+	kernelDays []map[string]int64 // [replicate], nil for default-kernel runs
 }
 
 func newAggregator(replicates int) *aggregator {
@@ -81,6 +86,7 @@ func newAggregator(replicates int) *aggregator {
 		peakDay:    make([]float64, replicates),
 		peakHeight: make([]float64, replicates),
 		total:      make([]float64, replicates),
+		kernelDays: make([]map[string]int64, replicates),
 	}
 }
 
@@ -93,6 +99,7 @@ func (a *aggregator) add(replicate int, res *core.Result) {
 	day, height := peakOf(curve)
 	a.peakDay[replicate] = float64(day)
 	a.peakHeight[replicate] = float64(height)
+	a.kernelDays[replicate] = res.KernelDays
 }
 
 // peakOf returns the day and height of a curve's maximum (first day on
@@ -150,5 +157,21 @@ func (a *aggregator) finalize(cell Cell, qs []float64, confidence float64) CellR
 
 		MeanCurve:      mean,
 		QuantileCurves: quants,
+		KernelDays:     mergeKernelDays(a.kernelDays),
 	}
+}
+
+// mergeKernelDays sums per-replicate kernel-day counters; nil when no
+// replicate reported any (the default dense kernel).
+func mergeKernelDays(per []map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for _, kd := range per {
+		for k, n := range kd {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[k] += n
+		}
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -373,7 +374,14 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			Model:     models[cell.modelIdx],
 			Spec:      spec,
 		})
-		opts.Trace.Add("sim", fmt.Sprintf("%s r%d", cell.Label(), j.replicate), simStart, time.Now())
+		simLabel := fmt.Sprintf("%s r%d", cell.Label(), j.replicate)
+		if res != nil && len(res.KernelDays) > 0 {
+			// The timeline's span budget forbids a span per simulated day, so
+			// the replicate span carries the per-kernel day tally instead
+			// (e.g. "... kernel[active=38 dense=2]").
+			simLabel += " kernel[" + kernelDaysLabel(res.KernelDays) + "]"
+		}
+		opts.Trace.Add("sim", simLabel, simStart, time.Now())
 		if err != nil {
 			return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
 		}
@@ -543,4 +551,22 @@ func (s *Slots) release() {
 		return
 	}
 	<-s.ch
+}
+
+// kernelDaysLabel renders a kernel-day tally deterministically
+// ("active=38 dense=2"), sorted by kernel name.
+func kernelDaysLabel(kd map[string]int64) string {
+	names := make([]string, 0, len(kd))
+	for k := range kd {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, kd[k])
+	}
+	return b.String()
 }

@@ -150,6 +150,13 @@ type Spec struct {
 	// AggBufferSize and Mixing are forwarded to every simulation.
 	AggBufferSize int     `json:"agg_buffer,omitempty"`
 	Mixing        float64 `json:"mixing,omitempty"`
+	// Kernel selects the simulation kernel for every replicate: "" or
+	// "dense", "auto" (byte-identical active-set stepping) or "event"
+	// (Gillespie below the prevalence threshold, statistically
+	// equivalent). KernelThreshold gates the event kernel (0 = engine
+	// default).
+	Kernel          string  `json:"kernel,omitempty"`
+	KernelThreshold float64 `json:"kernel_threshold,omitempty"`
 
 	// Workers bounds the executor's concurrency (0 = GOMAXPROCS, 1 =
 	// sequential). Results are byte-identical for any worker count.
@@ -240,6 +247,17 @@ func (s *Spec) Validate() error {
 		if q < 0 || q > 1 {
 			return fmt.Errorf("ensemble: quantile %v outside [0,1]", q)
 		}
+	}
+	switch s.Kernel {
+	case "", "dense", "auto", "event":
+	default:
+		return fmt.Errorf("ensemble: unknown kernel %q (want dense, auto or event)", s.Kernel)
+	}
+	if s.Kernel == "event" && s.Mixing > 0 {
+		return fmt.Errorf("ensemble: kernel \"event\" does not support mixing")
+	}
+	if s.KernelThreshold < 0 || s.KernelThreshold > 1 {
+		return fmt.Errorf("ensemble: kernel threshold %v outside [0,1]", s.KernelThreshold)
 	}
 	return nil
 }

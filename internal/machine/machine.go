@@ -154,8 +154,8 @@ func (c Config) PhaseTime(ranks []RankPhase, mode SyncMode) PhaseCost {
 		r := &ranks[i]
 		msgCPU := (c.SendOverhead*float64(r.WireOutIntra+r.WireOutInter) +
 			c.RecvOverhead*float64(r.WireInIntra+r.WireInInter)) * soft * (1 - offload)
-		net := c.LatencyIntraNode*float64(maxI64(r.WireOutIntra, r.WireInIntra)) +
-			c.LatencyInterNode*float64(maxI64(r.WireOutInter, r.WireInInter)) +
+		net := c.LatencyIntraNode*float64(max(r.WireOutIntra, r.WireInIntra)) +
+			c.LatencyInterNode*float64(max(r.WireOutInter, r.WireInInter)) +
 			r.ExtraLatency
 		if c.Bandwidth > 0 {
 			net += float64(r.BytesOut) / c.Bandwidth
@@ -224,11 +224,4 @@ func Efficiency(t1, tp float64, p int) float64 {
 		return 0
 	}
 	return Speedup(t1, tp) / float64(p)
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

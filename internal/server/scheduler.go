@@ -39,6 +39,12 @@ type scheduler struct {
 	wg     sync.WaitGroup
 
 	cellsStreamed atomic.Int64
+
+	// kernelMu guards kernelDays: simulated days by executing kernel,
+	// accumulated from every finalized cell (feeds the
+	// episimd_kernel_days_total metric).
+	kernelMu   sync.Mutex
+	kernelDays map[string]int64
 }
 
 func newScheduler(st *store, cache *episim.SweepCache, slots *episim.SweepSlots,
@@ -95,6 +101,21 @@ func (s *scheduler) activeCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.active
+}
+
+// kernelDaysSnapshot copies the per-kernel day counters (nil when no
+// sweep has run a non-default kernel yet).
+func (s *scheduler) kernelDaysSnapshot() map[string]int64 {
+	s.kernelMu.Lock()
+	defer s.kernelMu.Unlock()
+	if len(s.kernelDays) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.kernelDays))
+	for k, n := range s.kernelDays {
+		out[k] = n
+	}
+	return out
 }
 
 // close stops admission, cancels running sweeps, waits for the runner
@@ -168,6 +189,16 @@ func (s *scheduler) execute(j *job) {
 
 	onCell := func(cell episim.SweepCellResult) {
 		s.cellsStreamed.Add(1)
+		if len(cell.KernelDays) > 0 {
+			s.kernelMu.Lock()
+			if s.kernelDays == nil {
+				s.kernelDays = make(map[string]int64)
+			}
+			for k, n := range cell.KernelDays {
+				s.kernelDays[k] += n
+			}
+			s.kernelMu.Unlock()
+		}
 		s.store.incCellsDone(j)
 		c := cell
 		j.hub.publish(client.Event{Type: "cell", Cell: &c})

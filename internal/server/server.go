@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -530,6 +531,7 @@ func (s *Server) stats() client.StatsReply {
 		SweepsEvicted:   evicted,
 		CellsStreamed:   cells,
 		CellsPerSec:     perSec,
+		KernelDays:      s.sched.kernelDaysSnapshot(),
 		PopulationCache: s.cache.PopulationStats(),
 		PlacementCache:  s.cache.PlacementStats(),
 	}
@@ -633,7 +635,25 @@ func WriteMetrics(w io.Writer, st client.StatsReply) {
 	for _, m := range metrics {
 		writePromMetric(w, m)
 	}
+	writeKernelDays(w, st.KernelDays)
 	obs.WriteHistogramsProm(w, st.Histograms)
+}
+
+// writeKernelDays renders the per-kernel day counters as one labeled
+// counter series, kernels in sorted order for a stable scrape.
+func writeKernelDays(w io.Writer, kd map[string]int64) {
+	if len(kd) == 0 {
+		return
+	}
+	names := make([]string, 0, len(kd))
+	for k := range kd {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP episimd_kernel_days_total Simulated days by executing kernel.\n# TYPE episimd_kernel_days_total counter\n")
+	for _, k := range names {
+		fmt.Fprintf(w, "episimd_kernel_days_total{kernel=%q} %d\n", k, kd[k])
+	}
 }
 
 // storeFiles/storeBytes render optional store stats as gauges (0 when

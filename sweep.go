@@ -268,6 +268,8 @@ func sweepHooks() ensemble.Hooks {
 				Scenario:          job.Cell.Scenario.Text,
 				AggBufferSize:     job.Spec.AggBufferSize,
 				Mixing:            job.Spec.Mixing,
+				Kernel:            job.Spec.Kernel,
+				KernelThreshold:   job.Spec.KernelThreshold,
 			})
 		},
 	}
