@@ -1,0 +1,226 @@
+// Command episim-top is a terminal ops console for an episim fleet: it
+// polls a gateway's (or a single daemon's) /v1/stats, /v1/slo and
+// /v1/usage and renders a live view — fleet load, per-backend health and
+// queue depths, SLO error-budget burn rates, and the top clients by
+// consumed simulation time.
+//
+// Usage:
+//
+//	episim-top -addr http://localhost:8320
+//	episim-top -addr http://localhost:8321 -once   # one frame, no ANSI (CI, scripts)
+//
+// Pointed at a gateway it shows the whole fleet; pointed at one episimd
+// it shows that instance (the backend table is simply empty). -once
+// prints a single frame and exits, which is what the CI smoke test runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8320", "gateway or daemon base URL")
+		interval = flag.Duration("interval", 2*time.Second, "refresh cadence")
+		once     = flag.Bool("once", false, "render one frame without ANSI control codes and exit")
+		topN     = flag.Int("top", 8, "usage rows shown (top clients by sim-seconds)")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+	httpc := &http.Client{Timeout: 10 * time.Second}
+
+	for {
+		frame, err := render(httpc, base, *topN)
+		if *once {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "episim-top:", err)
+				os.Exit(1)
+			}
+			fmt.Print(frame)
+			return
+		}
+		// Clear + home between frames; errors render in-place so a
+		// restarting gateway shows as a blinking error, not an exit.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("episim-top: %v (retrying every %v)\n", err, *interval)
+		} else {
+			fmt.Print(frame)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// getJSON fetches one endpoint into out. /v1/slo and /v1/usage only
+// exist on current builds, so callers treat their errors as soft.
+func getJSON(httpc *http.Client, url string, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// render assembles one full frame. Only /v1/stats is load-bearing: a
+// target without the SLO plane still renders load and backends.
+func render(httpc *http.Client, base string, topN int) (string, error) {
+	var st cluster.StatsReply
+	if err := getJSON(httpc, base+"/v1/stats", &st); err != nil {
+		return "", err
+	}
+	var slo client.SLOReply
+	sloErr := getJSON(httpc, base+"/v1/slo", &slo)
+	var usage client.UsageReply
+	usageErr := getJSON(httpc, base+"/v1/usage", &usage)
+
+	var b strings.Builder
+	now := time.Now().Format("15:04:05")
+
+	// Header: where we're looking and the fleet-level load gauges.
+	fmt.Fprintf(&b, "episim-top  %s  %s\n", base, now)
+	health := ""
+	if st.Gateway.BackendsTotal > 0 {
+		health = fmt.Sprintf("  backends %d/%d healthy", st.Gateway.BackendsHealthy, st.Gateway.BackendsTotal)
+		if st.Gateway.FleetHealthy == 0 {
+			health += "  [STALE: fleet unreachable, last-known stats]"
+		}
+	}
+	p99 := math.NaN()
+	if qh, ok := findHist(st.StatsReply, "episimd_queue_wait_seconds"); ok {
+		p99 = qh.Quantile(0.99)
+	}
+	fmt.Fprintf(&b, "queue %d  active %d  done %d/%d  cells %d (%.0f/s)  q-wait p99 %s%s\n\n",
+		st.QueueDepth, st.ActiveSweeps, st.SweepsDone, st.SweepsTotal,
+		st.CellsStreamed, st.CellsPerSec, fmtSeconds(p99), health)
+
+	// SLOs: objective, short/long-window burn, budget state.
+	b.WriteString("SLO                    objective   burn(5m)   burn(1h)   errors\n")
+	if sloErr != nil {
+		fmt.Fprintf(&b, "  (unavailable: %v)\n", sloErr)
+	}
+	for _, s := range slo.SLOs {
+		mark := ""
+		if s.Stale {
+			mark = "  STALE"
+		}
+		short, long := math.NaN(), math.NaN()
+		var errRate float64
+		if len(s.Windows) > 0 {
+			short = s.Windows[0].BurnRate
+			errRate = s.Windows[0].ErrorRate
+		}
+		if len(s.Windows) > 1 {
+			long = s.Windows[1].BurnRate
+		}
+		fmt.Fprintf(&b, "%-22s %9.3f %10s %10s %8.1f%%%s\n",
+			s.Name, s.Objective, fmtBurn(short), fmtBurn(long), errRate*100, mark)
+	}
+	b.WriteString("\n")
+
+	// Backends (gateway targets only).
+	if len(st.Backends) > 0 {
+		b.WriteString("BACKEND          up  queue  routed   cells      err\n")
+		for _, bs := range st.Backends {
+			up := "ok"
+			if !bs.Healthy {
+				up = "DOWN"
+			}
+			cells := int64(0)
+			if bs.Stats != nil {
+				cells = bs.Stats.CellsStreamed
+			}
+			note := bs.StatsError
+			if bs.StatsStale {
+				age := ""
+				if bs.StatsUpdated != nil {
+					age = fmt.Sprintf(" (%s old)", time.Since(*bs.StatsUpdated).Round(time.Second))
+				}
+				note = "stale" + age
+			}
+			fmt.Fprintf(&b, "%-15s %3s %6d %7d %7d  %s\n",
+				bs.Name, up, bs.QueueDepth, bs.Routed, cells, note)
+		}
+		b.WriteString("\n")
+	}
+
+	// Top clients by consumed simulation time.
+	fmt.Fprintf(&b, "CLIENT                 submits    cells   sim-sec  cache-hit   streamed\n")
+	if usageErr != nil {
+		fmt.Fprintf(&b, "  (unavailable: %v)\n", usageErr)
+	}
+	rows := usage.Clients
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	for _, u := range rows {
+		fmt.Fprintf(&b, "%-22s %7d %8d %9.1f %10d %10s\n",
+			u.Client, u.Submissions, u.Cells, u.SimSeconds, u.CacheHits, fmtBytes(u.StreamedBytes))
+	}
+	if len(usage.Clients) > topN {
+		fmt.Fprintf(&b, "  ... %d more clients\n", len(usage.Clients)-topN)
+	}
+	return b.String(), nil
+}
+
+func findHist(st client.StatsReply, name string) (obs.HistogramSnapshot, bool) {
+	for _, h := range st.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return obs.HistogramSnapshot{}, false
+}
+
+// fmtBurn renders a burn rate compactly; "-" before the ring has two
+// points (NaN) — burn 1.0 means spending budget exactly as fast as the
+// objective allows.
+func fmtBurn(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fmtSeconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3gs", v)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

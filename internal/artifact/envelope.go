@@ -44,6 +44,10 @@ const (
 	KindPopulation Kind = 1
 	KindPlacement  Kind = 2
 	KindJob        Kind = 3
+	// KindProfile holds a pprof capture (CPU or heap) taken by the
+	// daemon's burn-rate watchdog; it lives in the result store and is
+	// TTL-governed by the same ExpireOlderThan GC as job records.
+	KindProfile Kind = 4
 )
 
 // ErrInvalid is wrapped by every decode failure — bad magic, unknown

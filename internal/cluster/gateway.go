@@ -73,6 +73,17 @@ type Config struct {
 	SubmitRate float64
 	// SubmitBurst is the token-bucket capacity (0 = max(1, 2×SubmitRate)).
 	SubmitBurst int
+	// HistoryInterval is the fleet metrics-history collection cadence
+	// (0 = 5s): each tick fans /v1/stats out and appends the merged
+	// snapshot to the gateway's ring, from which fleet-level SLO burn
+	// rates are computed. HistorySize bounds the ring (0 = an hour's
+	// worth of points).
+	HistoryInterval time.Duration
+	HistorySize     int
+	// QueueWaitSLOSeconds is the latency budget for the fleet queue-wait
+	// SLO, in seconds (0 = 30) — keep it equal to the backends' so the
+	// fleet burn rate and the per-daemon ones measure the same promise.
+	QueueWaitSLOSeconds float64
 	// HTTPClient proxies requests to backends. It must not set a global
 	// Timeout (event streams run as long as sweeps do); nil uses a
 	// default transport.
@@ -93,8 +104,11 @@ type backend struct {
 
 	// lastStats is the most recent successful /v1/stats snapshot, kept
 	// so fleet aggregates degrade to last-known values instead of zeros
-	// while the backend is unreachable.
-	lastStats atomic.Pointer[client.StatsReply]
+	// while the backend is unreachable; lastStatsAt (unix nanos) is when
+	// it was taken, surfaced as stats_updated whenever the snapshot is
+	// served stale.
+	lastStats   atomic.Pointer[client.StatsReply]
+	lastStatsAt atomic.Int64
 
 	// Prober state (prober goroutine + failure reports from proxying).
 	probeMu     sync.Mutex
@@ -135,6 +149,13 @@ type Gateway struct {
 	// response headers in) per backend — the gateway's own contribution
 	// to tail latency, separable from the backends' histograms.
 	proxyHist *obs.HistogramVec
+
+	// history is the fleet metrics ring (merged stats snapshots on an
+	// interval); sloSpecs/sloStatus are the fleet SLO set and its latest
+	// evaluation over that ring.
+	history   *obs.History
+	sloSpecs  []obs.SLOSpec
+	sloStatus atomic.Pointer[[]obs.SLOStatus]
 
 	started time.Time
 	stop    chan struct{}
@@ -206,18 +227,20 @@ func New(cfg Config) (*Gateway, error) {
 	// before the gateway serves, so the very first submission routes by
 	// name and can be acked with a name-bearing id.
 	g.probeAll()
+	g.startSLOPlane(cfg)
 	go g.probeLoop()
 	return g, nil
 }
 
-// Close stops the health prober. In-flight proxied requests finish on
-// their own connections.
+// Close stops the health prober and the fleet metrics ring. In-flight
+// proxied requests finish on their own connections.
 func (g *Gateway) Close() {
 	select {
 	case <-g.stop:
 	default:
 		close(g.stop)
 		<-g.done
+		g.history.Stop()
 	}
 }
 
@@ -235,6 +258,9 @@ func (g *Gateway) Close() {
 //	POST   /v1/sweeps/{id}/cancel proxied cancel
 //	DELETE /v1/sweeps/{id}        same
 //	GET    /v1/stats              fleet-aggregated stats + per-backend detail
+//	GET    /v1/slo                fleet SLO error-budget burn rates
+//	GET    /v1/usage              per-client usage, merged across backends
+//	GET    /v1/metrics/history    the gateway's fleet metrics ring
 //	GET    /metrics               fleet-aggregated Prometheus metrics
 //	GET    /healthz               gateway readiness (503 when no backend is)
 func (g *Gateway) Handler() http.Handler {
@@ -248,6 +274,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", g.withBackend(g.proxyCancel))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", g.withBackend(g.proxyCancel))
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/slo", g.handleSLO)
+	mux.HandleFunc("GET /v1/usage", g.handleUsage)
+	mux.HandleFunc("GET /v1/metrics/history", g.handleHistory)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return mux

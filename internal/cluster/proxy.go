@@ -53,7 +53,7 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range []string{"Content-Type", "Accept", "Last-Event-ID", obs.TraceHeader} {
+	for _, k := range []string{"Content-Type", "Accept", "Last-Event-ID", obs.TraceHeader, "X-Episim-Client"} {
 		if v := hdr.Get(k); v != "" {
 			req.Header.Set(k, v)
 		}
@@ -176,6 +176,10 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Header.Set(obs.TraceHeader, traceID)
 	w.Header().Set(obs.TraceHeader, traceID)
+	// Stamp the client identity the gateway resolved (header, else remote
+	// host) so the owning daemon's usage ledger bills the real tenant,
+	// not the gateway's own address.
+	r.Header.Set("X-Episim-Client", clientKey(r))
 
 	key := DominantPlacementKey(spec)
 	order, affine, spillFirst := g.pickOrder(key)
@@ -420,6 +424,9 @@ func (g *Gateway) proxyEvents(w http.ResponseWriter, r *http.Request, b *backend
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
+	// Same identity stamp as submissions: streamed bytes bill to the
+	// subscribing tenant on the owning daemon's ledger.
+	r.Header.Set("X-Episim-Client", clientKey(r))
 	resp, err := g.forward(r.Context(), b, http.MethodGet, path, nil, r.Header)
 	if err != nil {
 		g.reportFailure(r.Context(), b, err)

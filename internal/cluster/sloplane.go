@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// The gateway's half of the SLO plane: a metrics-history ring fed by the
+// merged fleet stats snapshot, evaluated against the same SLO specs each
+// daemon uses. The scalar vocabulary is shared through
+// server.StatsHistoryPoint, so a fleet burn rate is computed from
+// exactly the per-daemon counters — summed, not re-derived.
+
+// startSLOPlane builds and starts the fleet metrics ring. Each tick fans
+// /v1/stats out to the fleet and appends the merged snapshot; points are
+// marked stale when the whole fleet is unreachable or any backend's
+// contribution was a last-known snapshot rather than a live read, which
+// flows through window math into the SLO statuses — degraded burn rates
+// say so instead of impersonating live ones.
+func (g *Gateway) startSLOPlane(cfg Config) {
+	g.sloSpecs = server.SLOSpecs(cfg.QueueWaitSLOSeconds)
+	g.history = obs.NewHistory(cfg.HistorySize, cfg.HistoryInterval, func() obs.HistoryPoint {
+		st := g.collectStats(context.Background())
+		stale := st.Gateway.FleetHealthy == 0
+		for _, bs := range st.Backends {
+			if bs.StatsStale {
+				stale = true
+			}
+		}
+		return server.StatsHistoryPoint(st.StatsReply, stale)
+	})
+	g.history.OnAppend(func(obs.HistoryPoint) {
+		sts := obs.EvalSLOs(g.history, g.sloSpecs)
+		g.sloStatus.Store(&sts)
+	})
+	g.history.Start()
+}
+
+// sloStatuses returns the latest fleet SLO evaluation (a zeroed-but-
+// complete spec set before the ring's first append).
+func (g *Gateway) sloStatuses() []obs.SLOStatus {
+	if p := g.sloStatus.Load(); p != nil {
+		return *p
+	}
+	return obs.EvalSLOs(g.history, g.sloSpecs)
+}
+
+// handleSLO serves the fleet-level error-budget evaluation.
+func (g *Gateway) handleSLO(w http.ResponseWriter, r *http.Request) {
+	sts := g.sloStatuses()
+	stale := false
+	for _, st := range sts {
+		if st.Stale {
+			stale = true
+		}
+	}
+	writeJSON(w, http.StatusOK, client.SLOReply{Instance: "fleet", Stale: stale, SLOs: sts})
+}
+
+// handleUsage fans /v1/usage out to every healthy backend and merges the
+// ledgers per client: the same tenant submitting through the gateway
+// lands on many backends (HRW by content key), so only the merged view
+// answers "what has this client consumed fleet-wide" — the number a
+// fleet-global admission policy would act on.
+func (g *Gateway) handleUsage(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), statsTimeout)
+	defer cancel()
+	parts := make([][]obs.ClientUsage, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/usage", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.httpc.Do(req)
+			if err != nil {
+				g.reportFailure(r.Context(), b, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				return
+			}
+			var rep client.UsageReply
+			if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+				return
+			}
+			parts[i] = rep.Clients
+		}(i, b)
+	}
+	wg.Wait()
+	merged := []obs.ClientUsage{}
+	for _, rows := range parts {
+		merged = obs.MergeUsage(merged, rows)
+	}
+	writeJSON(w, http.StatusOK, client.UsageReply{Instance: "fleet", Clients: merged})
+}
+
+// handleHistory serves the gateway's fleet metrics ring in the same
+// shape as a daemon's /v1/metrics/history.
+func (g *Gateway) handleHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, server.BuildHistoryReply("fleet", g.history))
+}

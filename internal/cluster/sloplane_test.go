@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestDegradedStatsCarryTimestamp ejects the only backend and checks the
+// degraded /v1/stats path serves its last-known snapshot with the time
+// it was actually taken — and that a ring fed stale points marks the
+// fleet SLOs stale on /v1/slo.
+func TestDegradedStatsCarryTimestamp(t *testing.T) {
+	tc := bootCluster(t, 1, Config{ProbeInterval: time.Hour, FailAfter: 1})
+
+	// The gateway's boot-time ring collection already fetched live stats,
+	// stamping the snapshot time the stale path will later report.
+	var live StatsReply
+	mustGetJSON(t, tc.gwURL+"/v1/stats", &live)
+	if live.Backends[0].StatsStale {
+		t.Fatalf("live backend reported stale: %+v", live.Backends[0])
+	}
+
+	// Kill the backend and eject it (FailAfter 1: one failed round).
+	tc.backends[0].Close()
+	tc.gw.probeAll()
+
+	var degraded StatsReply
+	mustGetJSON(t, tc.gwURL+"/v1/stats", &degraded)
+	bs := degraded.Backends[0]
+	if bs.Healthy {
+		t.Fatal("backend still healthy after probe round against a closed listener")
+	}
+	if !bs.StatsStale || bs.Stats == nil {
+		t.Fatalf("degraded path did not serve last-known stats: %+v", bs)
+	}
+	if bs.StatsUpdated == nil {
+		t.Fatal("stale stats carry no stats_updated timestamp")
+	}
+	if age := time.Since(*bs.StatsUpdated); age < 0 || age > time.Minute {
+		t.Fatalf("stats_updated %v is not a recent snapshot time", bs.StatsUpdated)
+	}
+	// The aggregate still carries the last-known counters, flagged.
+	if degraded.Gateway.FleetHealthy != 0 {
+		t.Fatalf("fleet_healthy = %d with every backend down", degraded.Gateway.FleetHealthy)
+	}
+
+	// Feed the ring two points the way the collector now would (whole
+	// fleet unreachable → stale) and check /v1/slo says so.
+	tc.gw.history.Append(server.StatsHistoryPoint(degraded.StatsReply, true))
+	tc.gw.history.Append(server.StatsHistoryPoint(degraded.StatsReply, true))
+	var slo client.SLOReply
+	mustGetJSON(t, tc.gwURL+"/v1/slo", &slo)
+	if slo.Instance != "fleet" {
+		t.Fatalf("slo instance = %q, want fleet", slo.Instance)
+	}
+	if !slo.Stale {
+		t.Fatal("/v1/slo not marked stale over a stale-point window")
+	}
+	stale := 0
+	for _, s := range slo.SLOs {
+		if s.Stale {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatalf("no individual SLO marked stale: %+v", slo.SLOs)
+	}
+}
+
+// TestGatewayUsageMerge submits through the gateway under one client
+// identity and checks the fleet /v1/usage view aggregates the backends'
+// ledgers under that identity (the gateway stamps X-Episim-Client onto
+// forwarded submissions).
+func TestGatewayUsageMerge(t *testing.T) {
+	tc := bootCluster(t, 2, Config{ProbeInterval: time.Hour})
+	body := specBody(t, testSpec())
+
+	for i := 0; i < 2; i++ {
+		req, err := http.NewRequest(http.MethodPost, tc.gwURL+"/v1/sweeps", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Episim-Client", "tenant-gw")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack client.SubmitReply
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		tc.waitDone(t, ack.ID)
+	}
+
+	var usage client.UsageReply
+	mustGetJSON(t, tc.gwURL+"/v1/usage", &usage)
+	if usage.Instance != "fleet" {
+		t.Fatalf("usage instance = %q, want fleet", usage.Instance)
+	}
+	for _, u := range usage.Clients {
+		if u.Client == "tenant-gw" {
+			if u.Submissions != 2 {
+				t.Fatalf("tenant-gw submissions = %d, want 2", u.Submissions)
+			}
+			if u.Cells != 2 { // one cell per sweep
+				t.Fatalf("tenant-gw cells = %d, want 2", u.Cells)
+			}
+			return
+		}
+	}
+	t.Fatalf("tenant-gw missing from fleet usage: %+v", usage.Clients)
+}
+
+func mustGetJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	status, raw := getRaw(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, status, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

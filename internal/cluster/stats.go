@@ -55,8 +55,11 @@ type BackendStatus struct {
 	Stats      *client.StatsReply `json:"stats,omitempty"`
 	// StatsStale marks Stats as the last snapshot taken before the
 	// backend became unreachable, kept so fleet aggregates degrade
-	// gracefully instead of zeroing out.
-	StatsStale bool `json:"stats_stale,omitempty"`
+	// gracefully instead of zeroing out. StatsUpdated accompanies a stale
+	// snapshot with the time it was actually taken, so an operator can
+	// tell a seconds-old degradation from an hours-old one.
+	StatsStale   bool       `json:"stats_stale,omitempty"`
+	StatsUpdated *time.Time `json:"stats_updated,omitempty"`
 	// StatsError is set when the stats fetch itself failed (the backend
 	// may still be serving sweeps).
 	StatsError string `json:"stats_error,omitempty"`
@@ -120,6 +123,7 @@ func (g *Gateway) collectStats(ctx context.Context) StatsReply {
 			if last := b.lastStats.Load(); last != nil {
 				out.Backends[i].Stats = last
 				out.Backends[i].StatsStale = true
+				out.Backends[i].StatsUpdated = b.statsTakenAt()
 				out.Backends[i].StatsError = "unreachable (ejected); last-known stats shown"
 			} else {
 				out.Backends[i].StatsError = "unreachable (ejected); no stats seen yet"
@@ -138,10 +142,12 @@ func (g *Gateway) collectStats(ctx context.Context) StatsReply {
 				if last := b.lastStats.Load(); last != nil {
 					out.Backends[i].Stats = last
 					out.Backends[i].StatsStale = true
+					out.Backends[i].StatsUpdated = b.statsTakenAt()
 				}
 				return
 			}
 			b.lastStats.Store(st)
+			b.lastStatsAt.Store(time.Now().UnixNano())
 			out.Backends[i].Stats = st
 		}(i, b)
 	}
@@ -152,6 +158,17 @@ func (g *Gateway) collectStats(ctx context.Context) StatsReply {
 		}
 	}
 	return out
+}
+
+// statsTakenAt returns when the last successful stats snapshot was taken
+// (nil before any), pointer-shaped for the omitempty reply field.
+func (b *backend) statsTakenAt() *time.Time {
+	ns := b.lastStatsAt.Load()
+	if ns == 0 {
+		return nil
+	}
+	t := time.Unix(0, ns)
+	return &t
 }
 
 func (g *Gateway) fetchStats(ctx context.Context, b *backend) (*client.StatsReply, error) {
@@ -191,6 +208,12 @@ func mergeStats(into *client.StatsReply, st client.StatsReply) {
 	into.SweepsEvicted += st.SweepsEvicted
 	into.CellsStreamed += st.CellsStreamed
 	into.CellsPerSec += st.CellsPerSec
+	into.SubmitsTotal += st.SubmitsTotal
+	into.SubmitErrors += st.SubmitErrors
+	into.EventsSent += st.EventsSent
+	into.EventsSendErrors += st.EventsSendErrors
+	into.TraceDroppedSpans += st.TraceDroppedSpans
+	into.ProfileCaptures += st.ProfileCaptures
 	for k, n := range st.KernelDays {
 		if into.KernelDays == nil {
 			into.KernelDays = make(map[string]int64)
@@ -253,6 +276,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := g.collectStats(r.Context())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	server.WriteMetrics(w, st.StatsReply)
+	// Fleet-level SLO burn, from the gateway's own ring over the merged
+	// stats — the same episim_slo_* vocabulary each daemon exposes.
+	obs.WriteSLOProm(w, g.sloStatuses())
 	for _, m := range []struct {
 		name, kind, help string
 		val              float64

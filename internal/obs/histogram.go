@@ -149,6 +149,78 @@ func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
 	return nil
 }
 
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// target rank — the same estimator Prometheus's histogram_quantile uses,
+// so numbers here and numbers in a dashboard agree. The lowest bucket
+// interpolates from 0; ranks landing in the +Inf bucket return the last
+// finite bound (the honest answer: "at least this"). An empty snapshot
+// returns NaN.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	cum := 0.0
+	for i, b := range s.Bounds {
+		prev := cum
+		cum += float64(s.Counts[i])
+		if cum >= rank && s.Counts[i] > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - prev) / float64(s.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b-lower)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the live histogram's p-quantile from a snapshot.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return h.Snapshot().Quantile(p)
+}
+
+// CountAtOrBelow estimates how many observations were ≤ v, interpolating
+// inside the bucket straddling v — the CDF counterpart of Quantile. The
+// SLO engine uses it to turn a latency histogram into an availability
+// ratio ("fraction of queue waits within threshold").
+func (s HistogramSnapshot) CountAtOrBelow(v float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || math.IsNaN(v) {
+		return 0
+	}
+	cum := 0.0
+	for i, b := range s.Bounds {
+		if v >= b {
+			cum += float64(s.Counts[i])
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if v > lower && b > lower {
+			cum += float64(s.Counts[i]) * (v - lower) / (b - lower)
+		}
+		return cum
+	}
+	// v is past every finite bound; +Inf observations are above it.
+	return cum
+}
+
 // formatLabel renders the snapshot's label pair plus the le bound for a
 // _bucket sample ("" label = just the le pair).
 func (s HistogramSnapshot) bucketLabels(le string) string {

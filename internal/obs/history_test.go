@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// mkPoint builds a point at a fixed offset from base with one scalar and
+// one histogram family.
+func mkPoint(base time.Time, offset time.Duration, total float64, histCounts []uint64) HistoryPoint {
+	h := HistogramSnapshot{
+		Name:   "lat",
+		Bounds: []float64{0.1, 1, 10},
+		Counts: append([]uint64(nil), histCounts...),
+	}
+	for _, c := range histCounts {
+		h.Count += c
+	}
+	return HistoryPoint{
+		Time:    base.Add(offset),
+		Scalars: map[string]float64{"total": total},
+		Hists:   []HistogramSnapshot{h},
+	}
+}
+
+func TestHistoryWindowDeltasAndRates(t *testing.T) {
+	h := NewHistory(8, time.Second, nil)
+	base := time.Now()
+	h.Append(mkPoint(base, 0, 10, []uint64{1, 0, 0, 0}))
+	h.Append(mkPoint(base, 10*time.Second, 30, []uint64{3, 2, 0, 0}))
+
+	w, ok := h.Window(time.Minute)
+	if !ok {
+		t.Fatal("window not available with two points")
+	}
+	if got := w.Deltas["total"]; got != 20 {
+		t.Fatalf("delta = %v, want 20", got)
+	}
+	if got := w.Rates["total"]; got != 2 {
+		t.Fatalf("rate = %v, want 2/s", got)
+	}
+	hs, ok := w.Hist("lat")
+	if !ok {
+		t.Fatal("histogram family missing from window")
+	}
+	if hs.Counts[0] != 2 || hs.Counts[1] != 2 || hs.Count != 4 {
+		t.Fatalf("hist delta = %v (count %d), want [2 2 0 0] count 4", hs.Counts, hs.Count)
+	}
+}
+
+func TestHistoryWindowClampsCounterResets(t *testing.T) {
+	h := NewHistory(8, time.Second, nil)
+	base := time.Now()
+	h.Append(mkPoint(base, 0, 100, []uint64{9, 0, 0, 0}))
+	h.Append(mkPoint(base, 5*time.Second, 3, []uint64{1, 0, 0, 0})) // restart: counters reset
+	w, ok := h.Window(time.Minute)
+	if !ok {
+		t.Fatal("window unavailable")
+	}
+	if got := w.Deltas["total"]; got != 0 {
+		t.Fatalf("reset delta = %v, want clamped 0", got)
+	}
+	hs, _ := w.Hist("lat")
+	if hs.Counts[0] != 0 || hs.Count != 0 {
+		t.Fatalf("reset hist delta = %v count %d, want zeros", hs.Counts, hs.Count)
+	}
+}
+
+func TestHistoryRingEvictsOldest(t *testing.T) {
+	h := NewHistory(3, time.Second, nil)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		h.Append(mkPoint(base, time.Duration(i)*time.Second, float64(i), []uint64{0, 0, 0, 0}))
+	}
+	if h.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", h.Len())
+	}
+	pts := h.Snapshot(time.Time{})
+	if len(pts) != 3 || pts[0].Scalars["total"] != 2 || pts[2].Scalars["total"] != 4 {
+		t.Fatalf("ring contents wrong: %+v", pts)
+	}
+	// Window wider than the ring: base falls back to the oldest retained.
+	w, ok := h.Window(time.Hour)
+	if !ok || w.Deltas["total"] != 2 {
+		t.Fatalf("window over full ring: delta %v, want 2", w.Deltas["total"])
+	}
+}
+
+func TestHistoryWindowNarrow(t *testing.T) {
+	h := NewHistory(8, time.Second, nil)
+	base := time.Now().Add(-20 * time.Second)
+	h.Append(mkPoint(base, 0, 0, []uint64{0, 0, 0, 0}))
+	h.Append(mkPoint(base, 10*time.Second, 10, []uint64{0, 0, 0, 0}))
+	h.Append(mkPoint(base, 20*time.Second, 15, []uint64{0, 0, 0, 0}))
+	// A 5s window covers only the newest point; the fallback compares
+	// against the immediately preceding one.
+	w, ok := h.Window(5 * time.Second)
+	if !ok {
+		t.Fatal("narrow window unavailable")
+	}
+	if w.Deltas["total"] != 5 {
+		t.Fatalf("narrow delta = %v, want 5", w.Deltas["total"])
+	}
+}
+
+func TestHistoryStaleMarking(t *testing.T) {
+	h := NewHistory(8, time.Second, nil)
+	base := time.Now()
+	h.Append(mkPoint(base, 0, 0, nil))
+	p := mkPoint(base, time.Second, 5, nil)
+	p.Stale = true
+	h.Append(p)
+	w, _ := h.Window(time.Minute)
+	if !w.Stale {
+		t.Fatal("window over a stale point must be stale")
+	}
+
+	// A ring whose newest point is long past due is stale even when the
+	// points themselves were live.
+	h2 := NewHistory(8, 100*time.Millisecond, nil)
+	old := time.Now().Add(-time.Minute)
+	h2.Append(mkPoint(old, 0, 0, nil))
+	h2.Append(mkPoint(old, time.Second, 5, nil))
+	w2, _ := h2.Window(time.Minute)
+	if !w2.Stale {
+		t.Fatal("wedged ring must report stale windows")
+	}
+}
+
+func TestHistoryCollectLoop(t *testing.T) {
+	n := 0
+	h := NewHistory(16, 10*time.Millisecond, func() HistoryPoint {
+		n++
+		return HistoryPoint{Time: time.Now(), Scalars: map[string]float64{"n": float64(n)}}
+	})
+	got := make(chan HistoryPoint, 16)
+	h.OnAppend(func(p HistoryPoint) {
+		select {
+		case got <- p:
+		default:
+		}
+	})
+	h.Start()
+	defer h.Stop()
+	deadline := time.After(2 * time.Second)
+	for seen := 0; seen < 3; seen++ {
+		select {
+		case <-got:
+		case <-deadline:
+			t.Fatal("collection loop produced fewer than 3 points in 2s")
+		}
+	}
+	if h.Len() < 3 {
+		t.Fatalf("ring len = %d, want >= 3", h.Len())
+	}
+}

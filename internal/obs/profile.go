@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Triggered profiling: the watchdog wants a CPU+heap profile of the bad
+// moment itself — when burn rate or queue depth crosses threshold —
+// without requiring anyone to be attached to -pprof-addr at the time.
+// These helpers capture in-process into memory; the server persists the
+// bytes as artifacts so the evidence outlives the incident.
+
+// CaptureCPUProfile records a CPU profile for d (clamped to [100ms, 30s])
+// and returns the pprof bytes. It fails when CPU profiling is already
+// active — e.g. someone IS attached to the pprof listener — rather than
+// fighting over the singleton profiler.
+func CaptureCPUProfile(d time.Duration) ([]byte, error) {
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// CaptureHeapProfile returns the current heap profile (pprof bytes),
+// after a GC so the numbers reflect live objects, matching what
+// /debug/pprof/heap?gc=1 would serve.
+func CaptureHeapProfile() ([]byte, error) {
+	runtime.GC()
+	p := pprof.Lookup("heap")
+	if p == nil {
+		return nil, fmt.Errorf("heap profile unavailable")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil, fmt.Errorf("heap profile: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -167,6 +167,17 @@ func (t *Timeline) Start(name, detail string) func() {
 	return func() { t.Add(name, detail, start, time.Now()) }
 }
 
+// Dropped reports how many spans fell past the retention cap — a cheap
+// accessor (no span copy) for the daemon's drop counter.
+func (t *Timeline) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Snapshot copies the recorded spans, ordered by start time, plus the
 // count of spans dropped past the retention cap.
 func (t *Timeline) Snapshot() (spans []Span, dropped int) {

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClientUsage is one client's resource consumption as a set of monotonic
+// counters — the unit of per-tenant accounting served at /v1/usage.
+// Clients are keyed by the X-Episim-Client identity (the same key
+// gateway admission throttles on), so quota decisions and usage bills
+// name the same tenant.
+type ClientUsage struct {
+	Client string `json:"client"`
+	// Submissions counts accepted sweeps; Cells finalized cells;
+	// SimSeconds the summed wall time of their replicate simulations —
+	// the closest thing to "compute consumed".
+	Submissions int64   `json:"submissions"`
+	Cells       int64   `json:"cells"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	// CacheHits counts placement/population builds this client's sweeps
+	// needed that were served from cache instead of being rebuilt.
+	CacheHits int64 `json:"cache_hits"`
+	// StreamedBytes counts event-stream payload bytes delivered to this
+	// client's subscriptions.
+	StreamedBytes int64     `json:"streamed_bytes"`
+	LastActive    time.Time `json:"last_active"`
+}
+
+// add folds d's counters into u (Client and LastActive handled by the
+// ledger).
+func (u *ClientUsage) add(d ClientUsage) {
+	u.Submissions += d.Submissions
+	u.Cells += d.Cells
+	u.SimSeconds += d.SimSeconds
+	u.CacheHits += d.CacheHits
+	u.StreamedBytes += d.StreamedBytes
+}
+
+// usageOverflow is the ledger's catch-all client once the per-client map
+// hits its cardinality bound: X-Episim-Client is client-chosen, so an
+// abuser minting fresh identities must not grow daemon memory without
+// bound — excess identities aggregate here instead of being dropped.
+const usageOverflow = "_overflow"
+
+// maxUsageClients bounds distinct tracked identities per ledger.
+const maxUsageClients = 4096
+
+// UsageLedger accumulates per-client usage. All methods are safe for
+// concurrent use and nil-safe no-ops, so instrumented paths need no
+// guards.
+type UsageLedger struct {
+	mu      sync.Mutex
+	clients map[string]*ClientUsage
+}
+
+// NewUsageLedger builds an empty ledger.
+func NewUsageLedger() *UsageLedger {
+	return &UsageLedger{clients: map[string]*ClientUsage{}}
+}
+
+// Add folds a usage delta into client's row, creating it on first use
+// (or under the overflow row past the cardinality bound).
+func (l *UsageLedger) Add(client string, d ClientUsage) {
+	if l == nil {
+		return
+	}
+	if client == "" {
+		client = "unknown"
+	}
+	l.mu.Lock()
+	u, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxUsageClients {
+			client = usageOverflow
+			u = l.clients[client]
+		}
+		if u == nil {
+			u = &ClientUsage{Client: client}
+			l.clients[client] = u
+		}
+	}
+	u.add(d)
+	u.LastActive = time.Now()
+	l.mu.Unlock()
+}
+
+// Snapshot copies every row, sorted by SimSeconds descending then client
+// name — biggest consumers first, ties stable.
+func (l *UsageLedger) Snapshot() []ClientUsage {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]ClientUsage, 0, len(l.clients))
+	for _, u := range l.clients {
+		out = append(out, *u)
+	}
+	l.mu.Unlock()
+	sortUsage(out)
+	return out
+}
+
+func sortUsage(rows []ClientUsage) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SimSeconds != rows[j].SimSeconds {
+			return rows[i].SimSeconds > rows[j].SimSeconds
+		}
+		return rows[i].Client < rows[j].Client
+	})
+}
+
+// MergeUsage folds batch into acc by client key (the gateway aggregates
+// backend ledgers this way), returning the merged set re-sorted.
+func MergeUsage(acc []ClientUsage, batch []ClientUsage) []ClientUsage {
+	byClient := make(map[string]int, len(acc))
+	for i, u := range acc {
+		byClient[u.Client] = i
+	}
+	for _, u := range batch {
+		if i, ok := byClient[u.Client]; ok {
+			acc[i].add(u)
+			if u.LastActive.After(acc[i].LastActive) {
+				acc[i].LastActive = u.LastActive
+			}
+			continue
+		}
+		byClient[u.Client] = len(acc)
+		acc = append(acc, u)
+	}
+	sortUsage(acc)
+	return acc
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestUsageLedgerAccumulatesAndSorts(t *testing.T) {
+	l := NewUsageLedger()
+	l.Add("alice", ClientUsage{Submissions: 1, Cells: 4, SimSeconds: 2})
+	l.Add("bob", ClientUsage{Submissions: 1, SimSeconds: 9})
+	l.Add("alice", ClientUsage{Cells: 6, SimSeconds: 3, StreamedBytes: 100})
+
+	rows := l.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Client != "bob" { // biggest sim-seconds first
+		t.Fatalf("sort order wrong: %+v", rows)
+	}
+	a := rows[1]
+	if a.Submissions != 1 || a.Cells != 10 || a.SimSeconds != 5 || a.StreamedBytes != 100 {
+		t.Fatalf("alice row wrong: %+v", a)
+	}
+	if a.LastActive.IsZero() {
+		t.Fatal("LastActive not stamped")
+	}
+}
+
+func TestUsageLedgerNilAndEmptyKeySafe(t *testing.T) {
+	var l *UsageLedger
+	l.Add("x", ClientUsage{Submissions: 1}) // must not panic
+	if l.Snapshot() != nil {
+		t.Fatal("nil ledger snapshot must be nil")
+	}
+	l2 := NewUsageLedger()
+	l2.Add("", ClientUsage{Submissions: 1})
+	rows := l2.Snapshot()
+	if len(rows) != 1 || rows[0].Client != "unknown" {
+		t.Fatalf("empty key must land under unknown: %+v", rows)
+	}
+}
+
+func TestUsageLedgerCardinalityBound(t *testing.T) {
+	l := NewUsageLedger()
+	for i := 0; i < maxUsageClients+50; i++ {
+		l.Add(fmt.Sprintf("c-%d", i), ClientUsage{Submissions: 1})
+	}
+	rows := l.Snapshot()
+	if len(rows) > maxUsageClients+1 {
+		t.Fatalf("ledger grew past bound: %d rows", len(rows))
+	}
+	var overflow *ClientUsage
+	var total int64
+	for i := range rows {
+		total += rows[i].Submissions
+		if rows[i].Client == usageOverflow {
+			overflow = &rows[i]
+		}
+	}
+	if overflow == nil || overflow.Submissions != 50 {
+		t.Fatalf("overflow row missing or wrong: %+v", overflow)
+	}
+	if total != maxUsageClients+50 {
+		t.Fatalf("submissions lost at the bound: %d", total)
+	}
+}
+
+func TestMergeUsage(t *testing.T) {
+	now := time.Now()
+	a := []ClientUsage{
+		{Client: "alice", Submissions: 2, SimSeconds: 5, LastActive: now.Add(-time.Hour)},
+	}
+	b := []ClientUsage{
+		{Client: "alice", Submissions: 3, SimSeconds: 1, LastActive: now},
+		{Client: "carol", SimSeconds: 100},
+	}
+	m := MergeUsage(a, b)
+	if len(m) != 2 || m[0].Client != "carol" {
+		t.Fatalf("merge shape wrong: %+v", m)
+	}
+	alice := m[1]
+	if alice.Submissions != 5 || alice.SimSeconds != 6 {
+		t.Fatalf("alice merged wrong: %+v", alice)
+	}
+	if !alice.LastActive.Equal(now) {
+		t.Fatal("merge must keep the newest LastActive")
+	}
+}

@@ -73,8 +73,8 @@ func newScheduler(st *store, cache *episim.SweepCache, slots *episim.SweepSlots,
 // submission landing in the shutdown window (scheduler closed, listener
 // still draining) is terminated immediately so its status and event
 // stream resolve instead of queuing forever.
-func (s *scheduler) submit(spec *episim.SweepSpec, traceID string, trace *obs.Timeline) *job {
-	j := s.store.add(spec, traceID, trace)
+func (s *scheduler) submit(spec *episim.SweepSpec, traceID string, trace *obs.Timeline, clientID string) *job {
+	j := s.store.add(spec, traceID, trace, clientID)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

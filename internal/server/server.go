@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	episim "repro"
@@ -55,6 +56,30 @@ type Config struct {
 	// Logger receives the daemon's structured log lines (nil = a plain
 	// text logger on stderr at info level, the historical behavior).
 	Logger *obs.Logger
+
+	// HistoryInterval is the metrics-history ring's self-snapshot cadence
+	// (0 = 5s); HistorySize its point capacity (0 = one hour's worth,
+	// bounded to [16, 4096]). The ring is the SLO engine's only data
+	// source: burn rates exist without any external scraper.
+	HistoryInterval time.Duration
+	HistorySize     int
+	// QueueWaitSLOSeconds is the queue-wait latency objective's budget: a
+	// sweep whose admission delay stays at or under it counts as good
+	// (0 = 30s).
+	QueueWaitSLOSeconds float64
+	// BurnThreshold arms the profiling watchdog: when any SLO's
+	// short-window burn rate reaches it, the daemon captures CPU+heap
+	// pprof profiles into the artifact store (0 = 14, the classic
+	// page-now burn; requires CacheDir — without one there is nowhere to
+	// persist the evidence).
+	BurnThreshold float64
+	// ProfileQueueDepth additionally triggers a capture when the queue
+	// depth reaches it (0 = queue depth never triggers).
+	ProfileQueueDepth int
+	// ProfileCooldown is the minimum spacing between captures (0 = 10m).
+	ProfileCooldown time.Duration
+	// ProfileCPUSeconds is the CPU profile's sampling duration (0 = 1s).
+	ProfileCPUSeconds float64
 }
 
 // defaultLogger is the stderr text logger used when none is configured.
@@ -82,6 +107,20 @@ type Server struct {
 	plBuildHist   *obs.Histogram
 	cellHist      *obs.Histogram
 	persistHist   *obs.Histogram
+
+	// SLO-plane counters: request outcomes the availability objectives
+	// divide, and the watchdog's capture count.
+	submitsTotal    atomic.Int64
+	submitErrors    atomic.Int64
+	eventsSent      atomic.Int64
+	eventSendErrors atomic.Int64
+	profileCaptures atomic.Int64
+
+	// usage is the per-client accounting ledger (shared with the store,
+	// which attributes cells and cache hits at job terminal).
+	usage *obs.UsageLedger
+	// slo is the metrics-history ring, SLO evaluator and watchdog.
+	slo sloPlane
 
 	// Disk GC: a background loop prunes the placement store to
 	// storeMaxBytes (LRU) and expires result records past resultTTL.
@@ -140,7 +179,31 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 		plBuildHist:   obs.NewHistogram("episimd_placement_build_seconds", "Placement partition build time (cache misses only).", nil),
 		cellHist:      obs.NewHistogram("episimd_cell_seconds", "Per-replicate simulation time.", nil),
 		persistHist:   obs.NewHistogram("episimd_result_persist_seconds", "Time writing finished job records to the disk store.", nil),
+
+		usage: obs.NewUsageLedger(),
 	}
+	st.usage = srv.usage
+	srv.slo = sloPlane{
+		specs:             SLOSpecs(cfg.QueueWaitSLOSeconds),
+		burnThreshold:     cfg.BurnThreshold,
+		profileQueueDepth: cfg.ProfileQueueDepth,
+		profileCPUDur:     time.Duration(cfg.ProfileCPUSeconds * float64(time.Second)),
+		cooldown:          cfg.ProfileCooldown,
+	}
+	if srv.slo.burnThreshold <= 0 {
+		srv.slo.burnThreshold = 14
+	}
+	if srv.slo.profileCPUDur <= 0 {
+		srv.slo.profileCPUDur = time.Second
+	}
+	if srv.slo.cooldown <= 0 {
+		srv.slo.cooldown = 10 * time.Minute
+	}
+	srv.slo.history = obs.NewHistory(cfg.HistorySize, cfg.HistoryInterval, func() obs.HistoryPoint {
+		return StatsHistoryPoint(srv.stats(), false)
+	})
+	srv.slo.history.OnAppend(srv.onHistoryPoint)
+	srv.slo.history.Start()
 	if cfg.CacheDir != "" && (cfg.StoreMaxBytes > 0 || cfg.ResultTTL > 0) {
 		interval := cfg.GCInterval
 		if interval <= 0 {
@@ -157,6 +220,7 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 // disk GC loop.
 func (s *Server) Close() {
 	s.sched.close()
+	s.slo.history.Stop()
 	if s.gcStop != nil {
 		close(s.gcStop)
 		<-s.gcDone
@@ -228,6 +292,10 @@ func (s *Server) observeSpan(sp obs.Span) {
 //	POST   /v1/sweeps/{id}/cancel stop a queued or running sweep
 //	DELETE /v1/sweeps/{id}        same as cancel
 //	GET    /v1/stats              service + cache metrics (JSON)
+//	GET    /v1/slo                error-budget burn per SLO (5m/1h windows)
+//	GET    /v1/usage              per-client usage accounting ledger
+//	GET    /v1/metrics/history    the in-process metrics ring + windowed rates
+//	GET    /v1/profiles           watchdog-captured pprof artifacts
 //	GET    /metrics               the same, Prometheus text format
 //	GET    /healthz               readiness: queue depth, active sweeps,
 //	                              cache-dir writability (503 when degraded)
@@ -246,6 +314,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.stats())
 	})
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/usage", s.handleUsage)
+	mux.HandleFunc("GET /v1/metrics/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -326,21 +398,33 @@ func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.submitHist.ObserveSince(start)
+	s.submitsTotal.Add(1)
+	clientID := clientIDFrom(r)
 	spec, err := episim.ParseSweepSpec(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
+		s.submitErrors.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Adopt the caller's trace id (sanitized — it travels in headers and
 	// log lines) or mint one, and start the job's span timeline. The
-	// observer wires every span into the daemon-wide histograms.
+	// observer wires every span into the daemon-wide histograms — and
+	// attributes each replicate's sim time to the submitting client, so
+	// the usage ledger and the latency histograms are two views of the
+	// same measurements.
 	traceID := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
 	if traceID == "" {
 		traceID = obs.NewTraceID()
 	}
 	trace := obs.NewTimeline(traceID)
-	trace.SetObserver(s.observeSpan)
-	j := s.sched.submit(spec, traceID, trace)
+	trace.SetObserver(func(sp obs.Span) {
+		s.observeSpan(sp)
+		if sp.Name == "sim" {
+			s.usage.Add(clientID, obs.ClientUsage{SimSeconds: sp.Seconds})
+		}
+	})
+	s.usage.Add(clientID, obs.ClientUsage{Submissions: 1})
+	j := s.sched.submit(spec, traceID, trace, clientID)
 	// The admission span opens at handler entry, before the job's
 	// created stamp, so the timeline covers the submit path itself.
 	trace.Add("admission", "", start, time.Now())
@@ -457,22 +541,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
 	replay, live, unsub := j.hub.subscribe(from)
 	defer unsub()
 
+	// Delivery accounting: sends and failures feed the event-delivery
+	// SLO; payload bytes accrue to the requesting client's usage row,
+	// flushed once at stream end rather than per event.
+	clientID := clientIDFrom(r)
+	var streamedBytes int64
+	defer func() {
+		if streamedBytes > 0 {
+			s.usage.Add(clientID, obs.ClientUsage{StreamedBytes: streamedBytes})
+		}
+	}()
 	send := func(ev client.Event) bool {
 		payload, err := json.Marshal(ev)
 		if err != nil {
+			s.eventSendErrors.Add(1)
 			return false
 		}
 		if ndjson {
 			if _, err := fmt.Fprintf(w, "%s\n", payload); err != nil {
+				s.eventSendErrors.Add(1)
 				return false
 			}
 		} else {
 			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
 				ev.Seq, ev.Type, payload); err != nil {
+				s.eventSendErrors.Add(1)
 				return false
 			}
 		}
 		flusher.Flush()
+		s.eventsSent.Add(1)
+		streamedBytes += int64(len(payload))
 		return true
 	}
 	for _, ev := range replay {
@@ -531,6 +630,14 @@ func (s *Server) stats() client.StatsReply {
 		SweepsEvicted:   evicted,
 		CellsStreamed:   cells,
 		CellsPerSec:     perSec,
+
+		SubmitsTotal:      s.submitsTotal.Load(),
+		SubmitErrors:      s.submitErrors.Load(),
+		EventsSent:        s.eventsSent.Load(),
+		EventsSendErrors:  s.eventSendErrors.Load(),
+		TraceDroppedSpans: s.store.droppedSpans.Load(),
+		ProfileCaptures:   s.profileCaptures.Load(),
+
 		KernelDays:      s.sched.kernelDaysSnapshot(),
 		PopulationCache: s.cache.PopulationStats(),
 		PlacementCache:  s.cache.PlacementStats(),
@@ -558,6 +665,7 @@ func (s *Server) stats() client.StatsReply {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	WriteMetrics(w, s.stats())
+	obs.WriteSLOProm(w, s.sloStatuses())
 	obs.WriteRuntimeMetrics(w)
 }
 
@@ -620,6 +728,12 @@ func WriteMetrics(w io.Writer, st client.StatsReply) {
 		{"episimd_sweeps_evicted_total", "counter", "Finished sweeps evicted from the memory index by retention.", float64(st.SweepsEvicted)},
 		{"episimd_cells_streamed_total", "counter", "Sweep cells finalized and streamed to subscribers.", float64(st.CellsStreamed)},
 		{"episimd_cells_per_second", "gauge", "Mean cell throughput over the daemon's uptime.", st.CellsPerSec},
+		{"episimd_submissions_received_total", "counter", "Sweep submissions received (accepted or not).", float64(st.SubmitsTotal)},
+		{"episimd_submission_errors_total", "counter", "Sweep submissions refused (parse or admission failure).", float64(st.SubmitErrors)},
+		{"episimd_events_sent_total", "counter", "Event-stream messages delivered to subscribers.", float64(st.EventsSent)},
+		{"episimd_event_send_errors_total", "counter", "Event-stream sends that failed (subscriber gone mid-write).", float64(st.EventsSendErrors)},
+		{"episimd_trace_dropped_spans_total", "counter", "Spans dropped past the per-job trace retention cap.", float64(st.TraceDroppedSpans)},
+		{"episimd_profile_captures_total", "counter", "Watchdog-triggered pprof capture events persisted to the artifact store.", float64(st.ProfileCaptures)},
 	}
 	metrics = append(metrics, cacheMetrics("episimd_population_cache", st.PopulationCache)...)
 	metrics = append(metrics, cacheMetrics("episimd_placement_cache", st.PlacementCache)...)

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	episim "repro"
@@ -52,6 +53,9 @@ type job struct {
 	// spans are in-memory only, the id survives via the job record).
 	traceID string
 	trace   *obs.Timeline
+	// clientID attributes this job's cells, sim time and cache hits to
+	// the submitting client in the usage ledger ("" for rehydrated jobs).
+	clientID string
 	// resultJSON is the result's canonical serialization, materialized
 	// once at finish: it is what GET /result serves and what spills to
 	// disk, so the bytes a client sees are identical before and after a
@@ -116,6 +120,15 @@ type store struct {
 	// log is the owning server's logger (set after construction; a
 	// default keeps bare newStore() tests working).
 	log *obs.Logger
+
+	// usage is the owning server's per-client ledger (nil-safe; bare
+	// newStore() tests run without one). The store attributes what only
+	// it sees: finalized cells, cache hits counted at finish.
+	usage *obs.UsageLedger
+	// droppedSpans totals spans dropped past the per-job trace cap,
+	// accumulated once per job at its terminal transition — the
+	// episimd_trace_dropped_spans_total counter.
+	droppedSpans atomic.Int64
 }
 
 func newStore() *store {
@@ -254,8 +267,9 @@ func terminalEventType(st client.JobState) string {
 }
 
 // add registers a new queued job for spec (already normalized and
-// validated) and returns it, stamped with its trace id and timeline.
-func (s *store) add(spec *episim.SweepSpec, traceID string, trace *obs.Timeline) *job {
+// validated) and returns it, stamped with its trace id, timeline and
+// submitting client.
+func (s *store) add(spec *episim.SweepSpec, traceID string, trace *obs.Timeline, clientID string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -281,6 +295,7 @@ func (s *store) add(spec *episim.SweepSpec, traceID string, trace *obs.Timeline)
 		created:    s.now(),
 		traceID:    traceID,
 		trace:      trace,
+		clientID:   clientID,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -425,11 +440,14 @@ func (s *store) markRunning(j *job, cancel context.CancelFunc) bool {
 	return true
 }
 
-// incCellsDone counts one finalized (streamed or failed) cell.
+// incCellsDone counts one finalized (streamed or failed) cell, and
+// bills it to the submitting client.
 func (s *store) incCellsDone(j *job) {
 	s.mu.Lock()
 	j.cellsDone++
+	clientID := j.clientID
 	s.mu.Unlock()
+	s.usage.Add(clientID, obs.ClientUsage{Cells: 1})
 }
 
 // finish records a run's terminal state and (possibly partial) result,
@@ -457,6 +475,29 @@ func (s *store) finish(j *job, state client.JobState, errMsg string, res *episim
 		persistStart := time.Now()
 		s.persist(st, raw)
 		j.trace.Add("result_persist", "", persistStart, time.Now())
+	}
+	// Terminal bookkeeping for the SLO plane: spans dropped past the
+	// per-job cap roll into the daemon counter exactly once (the timeline
+	// is closed by the scheduler right after this returns, so the count
+	// is final), and build-map entries with zero builds are content keys
+	// this sweep needed that some cache tier already held — the client's
+	// cache-hit credit.
+	s.droppedSpans.Add(int64(j.trace.Dropped()))
+	if res != nil && s.usage != nil {
+		hits := int64(0)
+		for _, n := range res.PopulationBuilds {
+			if n == 0 {
+				hits++
+			}
+		}
+		for _, n := range res.PlacementBuilds {
+			if n == 0 {
+				hits++
+			}
+		}
+		if hits > 0 {
+			s.usage.Add(j.clientID, obs.ClientUsage{CacheHits: hits})
+		}
 	}
 	s.mu.Lock()
 	s.evictLocked()
@@ -542,6 +583,9 @@ func (s *store) requestCancel(j *job) bool {
 		j.trace.Add("queue_wait", "", j.created, j.finished)
 		j.trace.Add("run", string(client.StateCanceled), j.finished, j.finished)
 		j.trace.Close()
+		// This terminal path bypasses finish(): settle the drop counter
+		// here too (the count is final once the timeline closes).
+		s.droppedSpans.Add(int64(j.trace.Dropped()))
 		j.hub.publish(client.Event{Type: "canceled", Job: &st})
 		j.hub.close()
 		// Canceled-while-queued is terminal without passing through
