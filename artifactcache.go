@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/core"
 	"repro/internal/ensemble"
 	"repro/internal/synthpop"
 )
@@ -37,9 +39,14 @@ func NewSweepCacheDir(maxBytes int64, dir string) (*SweepCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("episim: cache dir: %w", err)
 	}
+	ckptStore, err := artifact.NewStore(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		return nil, fmt.Errorf("episim: cache dir: %w", err)
+	}
 	c.pop.WithDisk(populationTier{popStore})
 	c.pl.WithDisk(placementTier{plStore})
-	c.popStore, c.plStore = popStore, plStore
+	c.ckpt.WithDisk(checkpointTier{ckptStore})
+	c.popStore, c.plStore, c.ckptStore = popStore, plStore, ckptStore
 	return c, nil
 }
 
@@ -50,6 +57,28 @@ func (c *SweepCache) StoreStats() (pop, pl SweepStoreStats, ok bool) {
 		return SweepStoreStats{}, SweepStoreStats{}, false
 	}
 	return c.popStore.Stats(), c.plStore.Stats(), true
+}
+
+// CheckpointStoreStats reports the on-disk checkpoint store's size; ok
+// is false for a memory-only cache.
+func (c *SweepCache) CheckpointStoreStats() (ck SweepStoreStats, ok bool) {
+	if c.ckptStore == nil {
+		return SweepStoreStats{}, false
+	}
+	return c.ckptStore.Stats(), true
+}
+
+// ExpireCheckpoints removes on-disk checkpoints older than age — the
+// TTL behind episimd's -checkpoint-ttl flag. Checkpoints are the
+// largest artifacts the store holds and are only worth keeping while
+// their sweep spec is being iterated on, so they get their own horizon
+// instead of competing with hot placements under the byte-bound GC.
+// No-op for a memory-only cache.
+func (c *SweepCache) ExpireCheckpoints(age time.Duration) (files int, bytes int64, err error) {
+	if c.ckptStore == nil {
+		return 0, 0, nil
+	}
+	return c.ckptStore.ExpireOlderThan(age)
 }
 
 // GCPlacements prunes the on-disk placement store to at most maxBytes,
@@ -117,6 +146,22 @@ func (t placementTier) Store(key string, v any) error {
 		SplitStats:   pl.SplitStats,
 		Quality:      pl.Quality,
 	}))
+}
+
+// checkpointTier does the same for fork-point checkpoints.
+type checkpointTier struct{ store *artifact.Store }
+
+func (t checkpointTier) Load(key string) (any, error) {
+	payload, err := t.store.Get(artifact.KindCheckpoint, key)
+	if err != nil {
+		return nil, tierErr(err)
+	}
+	return artifact.DecodeCheckpoint(payload)
+}
+
+func (t checkpointTier) Store(key string, v any) error {
+	return t.store.Put(artifact.KindCheckpoint, key,
+		artifact.EncodeCheckpoint(v.(*core.Checkpoint)))
 }
 
 // tierErr translates store misses to the ensemble sentinel; everything

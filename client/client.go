@@ -69,6 +69,13 @@ type JobStatus struct {
 	// and proxied hops (the X-Episim-Trace-Id header). It is stamped on
 	// the persisted job record, so it survives eviction and restarts.
 	TraceID string `json:"trace_id,omitempty"`
+
+	// SpecVersion is the submitted spec's schema version: 1 for the
+	// original grid, 2 when it carries an intervention axis (fork-point
+	// counterfactual sweeps). Persisted with the job record, so a
+	// rehydrated job still reports what it was submitted as. Omitted by
+	// daemons predating the field — treat absent as 1.
+	SpecVersion int `json:"spec_version,omitempty"`
 }
 
 // SubmitReply acknowledges a submission.
@@ -79,6 +86,9 @@ type SubmitReply struct {
 	// TraceID is the trace id in effect for this sweep: the one the
 	// client supplied via X-Episim-Trace-Id, else server-generated.
 	TraceID string `json:"trace_id,omitempty"`
+	// SpecVersion echoes the accepted spec's schema version (see
+	// JobStatus.SpecVersion); absent from daemons predating the field.
+	SpecVersion int `json:"spec_version,omitempty"`
 }
 
 // TraceSpan is one named, timed stage of a sweep's execution.
@@ -160,11 +170,21 @@ type StatsReply struct {
 	// build executions either tier failed to absorb.
 	PopulationCache episim.SweepCacheStats `json:"population_cache"`
 	PlacementCache  episim.SweepCacheStats `json:"placement_cache"`
+	// CheckpointCache covers fork-point sim-state checkpoints (version 2
+	// sweeps); Builds counts prefix executions that no tier absorbed.
+	CheckpointCache episim.SweepCacheStats `json:"checkpoint_cache"`
+
+	// CheckpointRestores / CheckpointBytes count branch resumes from a
+	// checkpoint and the estimated in-memory bytes of every checkpoint
+	// built by this daemon — the fork economics in two numbers.
+	CheckpointRestores int64 `json:"checkpoint_restores"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 
 	// Store sizes are present only when the daemon runs with -cache-dir.
 	PopulationStore *episim.SweepStoreStats `json:"population_store,omitempty"`
 	PlacementStore  *episim.SweepStoreStats `json:"placement_store,omitempty"`
 	ResultStore     *episim.SweepStoreStats `json:"result_store,omitempty"`
+	CheckpointStore *episim.SweepStoreStats `json:"checkpoint_store,omitempty"`
 
 	// Histograms are the daemon's latency distributions (submit, queue
 	// wait, placement build, per-replicate sim, result persist). They
@@ -339,6 +359,23 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// Typed error sentinels for the failures callers routinely branch on.
+// Match with errors.Is — the concrete error keeps the server's full
+// message and status:
+//
+//	if errors.Is(err, client.ErrThrottled) { wait, _ := client.RetryAfter(err); ... }
+//	if errors.Is(err, client.ErrNotFound) { ... }
+//
+// They replace matching on error strings, which drift with server
+// wording.
+var (
+	// ErrThrottled marks an HTTP 429 admission-control rejection.
+	ErrThrottled = errors.New("episimd: throttled")
+	// ErrNotFound marks an HTTP 404 — an unknown sweep id, or an id whose
+	// record aged out of both the memory index and the disk store.
+	ErrNotFound = errors.New("episimd: not found")
+)
+
 // apiError is a non-2xx reply; it keeps the status code so retry logic
 // can distinguish server-side failures (5xx, possibly transient — a
 // gateway mid-failover answers 502) from permanent client errors (4xx),
@@ -350,6 +387,18 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// Is maps the reply's status onto the package sentinels so callers can
+// use errors.Is without knowing the concrete type.
+func (e *apiError) Is(target error) bool {
+	switch target {
+	case ErrThrottled:
+		return e.status == http.StatusTooManyRequests
+	case ErrNotFound:
+		return e.status == http.StatusNotFound
+	}
+	return false
+}
 
 // RetryAfter extracts the server-advised wait from a throttled (429)
 // submission error, for callers implementing their own backoff instead
@@ -394,6 +443,51 @@ func decodeError(resp *http.Response) error {
 		fmt.Sprintf("episimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b))), retryAfter}
 }
 
+// SubmitOptions consolidates the per-submission knobs that previously
+// had to be smeared across Client fields (ClientID, TraceID) and spec
+// mutations (kernel, interventions) before each call. Zero values mean
+// "inherit": identity fields fall back to the Client's, spec overrides
+// leave the spec untouched.
+type SubmitOptions struct {
+	// TraceID / ClientID override the Client-level fields for this one
+	// submission (X-Episim-Trace-Id / X-Episim-Client headers).
+	TraceID  string
+	ClientID string
+
+	// Kernel / KernelThreshold override the spec's kernel selection.
+	Kernel          string
+	KernelThreshold float64
+
+	// Interventions and ForkDay attach a counterfactual branch axis to
+	// the spec (making it a version 2 spec): the sweep runs each base
+	// cell's prefix once to ForkDay, then forks every intervention branch
+	// from that checkpoint.
+	Interventions []episim.SweepIntervention
+	ForkDay       int
+}
+
+// apply folds the options into a shallow copy of spec (nil-safe only
+// for callers that validated spec already, as Submit does server-side).
+func (o SubmitOptions) apply(spec *episim.SweepSpec) *episim.SweepSpec {
+	if o.Kernel == "" && o.KernelThreshold == 0 && len(o.Interventions) == 0 && o.ForkDay == 0 {
+		return spec
+	}
+	s := *spec
+	if o.Kernel != "" {
+		s.Kernel = o.Kernel
+	}
+	if o.KernelThreshold != 0 {
+		s.KernelThreshold = o.KernelThreshold
+	}
+	if len(o.Interventions) > 0 {
+		s.Interventions = o.Interventions
+	}
+	if o.ForkDay != 0 {
+		s.ForkDay = o.ForkDay
+	}
+	return &s
+}
+
 // Submit enqueues a sweep and returns its acknowledgment.
 //
 // Submit honors admission control: when a gateway throttles the request
@@ -405,19 +499,33 @@ func decodeError(resp *http.Response) error {
 // the error immediately rather than silently blocking the caller for
 // minutes; use RetryAfter on the returned error to schedule a later
 // retry. Cancellation via ctx interrupts the wait; a 429 with no
-// Retry-After also surfaces immediately.
+// Retry-After also surfaces immediately (errors.Is(err, ErrThrottled)
+// identifies it).
 func (c *Client) Submit(ctx context.Context, spec *episim.SweepSpec) (SubmitReply, error) {
+	return c.SubmitWith(ctx, spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-submission options; see SubmitOptions.
+// It shares Submit's throttle-honoring retry loop.
+func (c *Client) SubmitWith(ctx context.Context, spec *episim.SweepSpec, opts SubmitOptions) (SubmitReply, error) {
 	const (
 		maxThrottleRetries = 4
 		maxThrottleWait    = 30 * time.Second
 	)
-	body, err := json.Marshal(spec)
+	cc := *c
+	if opts.ClientID != "" {
+		cc.ClientID = opts.ClientID
+	}
+	if opts.TraceID != "" {
+		cc.TraceID = opts.TraceID
+	}
+	body, err := json.Marshal(opts.apply(spec))
 	if err != nil {
 		return SubmitReply{}, err
 	}
 	for attempt := 0; ; attempt++ {
 		var ack SubmitReply
-		err := c.do(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(body), &ack)
+		err := cc.do(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(body), &ack)
 		if err == nil {
 			return ack, nil
 		}

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	episim "repro"
 )
 
 // sseEvent renders one server-side SSE frame the way episimd does.
@@ -230,5 +232,101 @@ func TestSubmitNoRetryWithoutAdvice(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("made %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestSubmitWithOptions: SubmitWith consolidates what previously took
+// mutating the Client and the spec by hand — identity headers override
+// per call, spec knobs (kernel, intervention axis) land in the wire
+// body, and the caller's spec is never mutated.
+func TestSubmitWithOptions(t *testing.T) {
+	var gotClient, gotTrace atomic.Value
+	var gotBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotClient.Store(r.Header.Get("X-Episim-Client"))
+		gotTrace.Store(r.Header.Get(TraceHeader))
+		var spec struct {
+			Kernel        string `json:"kernel"`
+			ForkDay       int    `json:"fork_day"`
+			Interventions []struct {
+				Name string `json:"name"`
+			} `json:"interventions"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			t.Errorf("decode submitted spec: %v", err)
+		}
+		gotBody.Store(spec)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitReply{ID: "sw-000002", SpecVersion: 2})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.ClientID = "client-level"
+	spec := &episim.SweepSpec{
+		Populations: []episim.SweepPopulation{{Name: "p", People: 10, Locations: 2}},
+		Placements:  []episim.SweepPlacement{{Strategy: "RR", Ranks: 1}},
+		Replicates:  1,
+		Days:        9,
+		Seed:        1,
+	}
+	ack, err := c.SubmitWith(context.Background(), spec, SubmitOptions{
+		ClientID:      "per-call",
+		TraceID:       "trace-42",
+		Kernel:        "auto",
+		Interventions: []episim.SweepIntervention{{Name: "baseline"}, {Name: "b1"}},
+		ForkDay:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.SpecVersion != 2 {
+		t.Fatalf("ack spec_version = %d, want 2", ack.SpecVersion)
+	}
+	if got := gotClient.Load(); got != "per-call" {
+		t.Fatalf("X-Episim-Client = %q, want per-call override", got)
+	}
+	if got := gotTrace.Load(); got != "trace-42" {
+		t.Fatalf("trace header = %q, want trace-42", got)
+	}
+	sent := gotBody.Load().(struct {
+		Kernel        string `json:"kernel"`
+		ForkDay       int    `json:"fork_day"`
+		Interventions []struct {
+			Name string `json:"name"`
+		} `json:"interventions"`
+	})
+	if sent.Kernel != "auto" || sent.ForkDay != 4 || len(sent.Interventions) != 2 {
+		t.Fatalf("submitted spec = %+v, want kernel auto, fork day 4, 2 branches", sent)
+	}
+	if spec.Kernel != "" || spec.ForkDay != 0 || spec.Interventions != nil {
+		t.Fatal("SubmitWith mutated the caller's spec")
+	}
+	if c.ClientID != "client-level" || c.TraceID != "" {
+		t.Fatal("SubmitWith mutated the Client")
+	}
+}
+
+// TestErrorSentinelMatching pins the errors.Is contract: 429 matches
+// ErrThrottled, 404 matches ErrNotFound, and neither matches the other.
+func TestErrorSentinelMatching(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).Submit(context.Background(), nil)
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("429 error %v does not match ErrThrottled", err)
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("429 error %v wrongly matches ErrNotFound", err)
+	}
+
+	nf := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown sweep"}`, http.StatusNotFound)
+	}))
+	defer nf.Close()
+	if _, err := New(nf.URL).Status(context.Background(), "sw-000099"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("404 error %v does not match ErrNotFound", err)
 	}
 }

@@ -78,6 +78,7 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persistent artifact store: placements survive restarts, finished sweeps spill to disk (empty = memory only)")
 		retain    = flag.Int("retain", 1024, "finished sweeps kept in the memory index; older ones evict (to disk with -cache-dir) (0 = unbounded)")
 		resultTTL = flag.Duration("result-ttl", 0, "evict finished sweeps from the memory index — and, with -cache-dir, expire their disk records — after this age, e.g. 24h (0 = never)")
+		ckptTTL   = flag.Duration("checkpoint-ttl", 0, "expire on-disk fork-point checkpoints not read within this age, e.g. 6h (0 = never); requires -cache-dir")
 		storeMax  = flag.Int64("store-max-bytes", 0, "bound the on-disk placement store: a background LRU sweep prunes least-recently-used artifacts past this size (0 = unbounded)")
 		name      = flag.String("name", defaultName(), "instance name reported by /healthz; a fronting episim-gw adopts it as this backend's routing identity and embeds it in job ids")
 		logFormat = flag.String("log-format", "text", "log line format: text or json (json lines carry trace ids for correlation)")
@@ -110,6 +111,7 @@ func main() {
 		CacheDir:      *cacheDir,
 		Retain:        *retain,
 		ResultTTL:     *resultTTL,
+		CheckpointTTL: *ckptTTL,
 		StoreMaxBytes: *storeMax,
 		Name:          *name,
 		Logger:        log,

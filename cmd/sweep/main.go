@@ -64,6 +64,7 @@ func main() {
 		server   = flag.String("server", "", "episimd or episim-gw base URL, e.g. http://localhost:8321 (used by -trace)")
 		traceJob = flag.String("trace", "", "fetch this job id's span timeline from -server, print a per-stage summary, and exit")
 		kernel   = flag.String("kernel", "", "override the spec's simulation kernel: dense, auto or event")
+		forkDay  = flag.Int("fork-day", 0, "override the spec's fork day: interventions branch from a shared checkpoint at this day (requires an \"interventions\" axis in the spec)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -108,6 +109,14 @@ func main() {
 	}
 	if *kernel != "" {
 		spec.Kernel = *kernel
+	}
+	if *forkDay > 0 {
+		spec.ForkDay = *forkDay
+		// Re-validate: the flag can push the fork past a branch's first
+		// trigger day, which must be refused here, not mid-run.
+		if err := spec.Validate(); err != nil {
+			fail(err)
+		}
 	}
 
 	var cache *episim.SweepCache
@@ -196,6 +205,14 @@ func main() {
 		line += fmt.Sprintf(", %d loaded from cache dir", cache.PlacementStats().DiskHits)
 	}
 	fmt.Fprintln(os.Stderr, line+")")
+	if spec.ForkDay > 0 {
+		ckBuilds := 0
+		for _, n := range res.CheckpointBuilds {
+			ckBuilds += n
+		}
+		fmt.Fprintf(os.Stderr, "sweep: fork day %d: %d checkpoints built, %d simulated days (vs %d from scratch)\n",
+			spec.ForkDay, ckBuilds, res.SimulatedDays, int64(res.Simulations)*int64(spec.Days))
+	}
 
 	emit := func(path string, write func(io.Writer) error) {
 		if path == "" {

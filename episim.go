@@ -255,6 +255,17 @@ type SimConfig struct {
 
 // Run executes a simulation over the placement.
 func Run(pl *Placement, cfg SimConfig) (*Result, error) {
+	eng, err := newSimEngine(pl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// newSimEngine builds a configured engine without running it — the seam
+// the fork-mode sweep uses to run a prefix (core.RunPrefix) or resume a
+// branch (core.Restore) instead of a whole run.
+func newSimEngine(pl *Placement, cfg SimConfig) (*core.Engine, error) {
 	var scn *interventions.Scenario
 	if strings.TrimSpace(cfg.Scenario) != "" {
 		var err error
@@ -293,5 +304,5 @@ func Run(pl *Placement, cfg SimConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return eng, nil
 }

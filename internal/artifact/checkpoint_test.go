@@ -1,0 +1,163 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disease"
+	"repro/internal/interventions"
+)
+
+// testCheckpoint builds a real mid-epidemic checkpoint: a short prefix
+// run with a scenario whose first rule has fired, so every field the
+// codec carries (sparse sets, effects, rule latches, phase stats) is
+// populated with live values rather than zeros.
+func testCheckpoint(t *testing.T) *core.Checkpoint {
+	t.Helper()
+	pop := testPopulation(t)
+	m := disease.Default()
+	m.Transmissibility = 4e-4
+	sc, err := interventions.Parse("when day >= 2 { close school for 3 }\nwhen day >= 99 { close work for 2 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.Config{Population: pop, Disease: m, Scenario: sc,
+		Days: 12, Seed: 11, InitialInfections: 5, Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := eng.RunPrefix(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cumulative == 0 || len(cp.Days) != 6 {
+		t.Fatalf("fixture checkpoint is degenerate: %d infections, %d days", cp.Cumulative, len(cp.Days))
+	}
+	if len(cp.RuleFired) != 2 || !cp.RuleFired[0] || cp.RuleFired[1] {
+		t.Fatalf("fixture rule latches = %v, want [true false]", cp.RuleFired)
+	}
+	return cp
+}
+
+// TestCheckpointRoundTrip: decode(encode(cp)) is lossless and
+// re-encoding the decoded checkpoint is byte-identical — checkpoints are
+// content-addressed, so the codec must be deterministic like every other
+// artifact kind.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := testCheckpoint(t)
+	payload := EncodeCheckpoint(cp)
+	got, err := DecodeCheckpoint(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Fatalf("decoded checkpoint differs from original:\n%+v\nvs\n%+v", got, cp)
+	}
+	if !bytes.Equal(payload, EncodeCheckpoint(got)) {
+		t.Fatal("re-encode of decoded checkpoint is not byte-identical")
+	}
+}
+
+// TestCheckpointEnvelopeRejects mirrors the placement envelope tests for
+// the checkpoint kind: truncation, bit rot, kind and key mismatches all
+// surface as ErrInvalid (a miss, so the sweep rebuilds the prefix), and
+// corrupt payloads past the envelope degrade to errors, never panics.
+func TestCheckpointEnvelopeRejects(t *testing.T) {
+	payload := EncodeCheckpoint(testCheckpoint(t))
+	sealed := Seal(KindCheckpoint, "ck1", payload)
+
+	if got, err := Open(sealed, KindCheckpoint, "ck1"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean open failed: %v", err)
+	}
+	cases := map[string][]byte{
+		"truncated header": sealed[:8],
+		"truncated body":   sealed[:len(sealed)/2],
+		"missing trailer":  sealed[:len(sealed)-3],
+	}
+	flipped := append([]byte(nil), sealed...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bit flip"] = flipped
+	for name, data := range cases {
+		if _, err := Open(data, KindCheckpoint, "ck1"); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("%s: err = %v, want ErrInvalid", name, err)
+		}
+	}
+	if _, err := Open(sealed, KindPlacement, "ck1"); !errors.Is(err, ErrInvalid) {
+		t.Fatal("kind mismatch must be ErrInvalid")
+	}
+	if _, err := Open(sealed, KindCheckpoint, "other"); !errors.Is(err, ErrInvalid) {
+		t.Fatal("key mismatch must be ErrInvalid")
+	}
+
+	if _, err := DecodeCheckpoint(payload[:len(payload)-5]); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), payload...), 9)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+
+	// Adversarial counts wrap-check: a huge sparse-set count must fail
+	// the bounds check instead of reaching makeslice.
+	e := &enc{}
+	e.u32(3)
+	e.u64(5)
+	e.bool(false)
+	e.i32s(nil)
+	e.i32s(nil)
+	e.i32s(nil)
+	e.bools(nil)
+	e.u32(0xFFFFFFFF) // infectious PM count
+	e.b = append(e.b, make([]byte, 64)...)
+	if _, err := DecodeCheckpoint(e.b); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("overflowing set count: %v, want ErrInvalid", err)
+	}
+}
+
+// TestCheckpointStoreHeal: a checkpoint artifact truncated on disk reads
+// as ErrInvalid, is removed, and the slot heals on the next Put — same
+// contract as every other kind, pinned here because checkpoints are the
+// largest artifacts the store holds.
+func TestCheckpointStoreHeal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := EncodeCheckpoint(testCheckpoint(t))
+	if err := st.Put(KindCheckpoint, "ck", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(KindCheckpoint, "ck")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip through store failed: %v", err)
+	}
+
+	var path string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == artExt {
+			path = p
+		}
+		return nil
+	})
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(KindCheckpoint, "ck"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("corrupt get: %v, want ErrInvalid", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt checkpoint was not removed")
+	}
+	if err := st.Put(KindCheckpoint, "ck", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Get(KindCheckpoint, "ck"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("heal failed: %v", err)
+	}
+}

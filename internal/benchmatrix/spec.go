@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/ensemble"
+	"repro/internal/interventions"
 )
 
 // Duration is a time.Duration that marshals as a parseable string
@@ -246,6 +247,11 @@ type CellConfig struct {
 	// pre-kernel-axis report keeps its exact cell identities.
 	Kernel  string `json:"kernel,omitempty"`
 	Seeding int    `json:"seeding,omitempty"`
+	// Forked runs the cell as a fork-point counterfactual sweep: an
+	// intervention-branch axis resuming from a mid-horizon checkpoint
+	// instead of plain scenarios, timing the checkpoint build/restore
+	// path. False adds no ID segment, keeping legacy IDs byte-identical.
+	Forked bool `json:"forked,omitempty"`
 }
 
 // ID is the cell's stable identity in reports and compare tables.
@@ -259,6 +265,9 @@ func (c CellConfig) ID() string {
 	}
 	if c.Kernel != "" {
 		id += "|k=" + c.Kernel
+	}
+	if c.Forked {
+		id += "|forked"
 	}
 	return id
 }
@@ -331,6 +340,22 @@ func (s *Spec) SweepSpec(c CellConfig) *ensemble.Spec {
 		Kernel:            c.Kernel,
 		InitialInfections: c.Seeding,
 	}
+	if c.Forked {
+		// Fork at mid-horizon with a branch per scenario count slot: the
+		// cell times the checkpoint-build + per-branch-restore path. The
+		// branch fires the day after the fork, the earliest legal day.
+		fork := s.Days / 2
+		if fork < 1 {
+			fork = 1
+		}
+		sw.ForkDay = fork
+		sw.Interventions = []ensemble.InterventionSpec{
+			{Name: "baseline"},
+			{Name: "closure", Schedule: interventions.Schedule{
+				Closures: []interventions.Closure{{LocType: "school", Day: fork + 1, Days: 2}},
+			}},
+		}
+	}
 	sw.Normalize()
 	return sw
 }
@@ -376,8 +401,16 @@ func Preset(name string) (*Spec, error) {
 			// Targeted kernel cells ride the default matrix so every CI
 			// run tracks the dense/auto trajectory without doubling the
 			// crossed axes: one shape, both kernels, both seeding
-			// extremes.
-			Extra: kernelCells(),
+			// extremes. One forked cell tracks the fork-point
+			// checkpoint build/restore path's timing the same way.
+			Extra: append(kernelCells(), CellConfig{
+				Population: ensemble.PopulationSpec{Name: "bench-town-2000", People: 2000, Locations: 200},
+				Strategy:   StrategyAxis{Strategy: "RR"},
+				Ranks:      4,
+				Scenarios:  1,
+				CacheState: CacheWarm,
+				Forked:     true,
+			}),
 		}
 	case "sweep":
 		s = &Spec{

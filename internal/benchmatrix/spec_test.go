@@ -12,9 +12,9 @@ func TestPresetsValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The acceptance floor: the default matrix must span ≥12 cells
-	// (32 crossed + 4 extra dense-vs-auto kernel cells).
-	if got := len(m.Cells()); got != 36 || got < 12 {
-		t.Fatalf("matrix preset has %d cells, want 36", got)
+	// (32 crossed + 4 extra dense-vs-auto kernel cells + 1 forked cell).
+	if got := len(m.Cells()); got != 37 || got < 12 {
+		t.Fatalf("matrix preset has %d cells, want 37", got)
 	}
 	s, err := Preset("sweep")
 	if err != nil {
@@ -71,11 +71,11 @@ func TestKernelAxisCells(t *testing.T) {
 		t.Fatalf("kernel cell's sweep spec invalid: %v", err)
 	}
 
-	// The matrix preset's extra kernel cells ride after the crossed axes
-	// and never collide with them.
+	// The matrix preset's extra cells ride after the crossed axes and
+	// never collide with them: the kernel quartet, then one forked cell.
 	m, _ := Preset("matrix")
 	cells := m.Cells()
-	tail := cells[len(cells)-4:]
+	tail := cells[len(cells)-5 : len(cells)-1]
 	for _, c := range tail {
 		if c.Seeding == 0 {
 			t.Fatalf("extra cell %s has default seeding", c.ID())
@@ -83,6 +83,18 @@ func TestKernelAxisCells(t *testing.T) {
 	}
 	if tail[1].Kernel != "auto" || tail[3].Kernel != "auto" {
 		t.Fatalf("extra cells %v missing auto kernels", tail)
+	}
+	forked := cells[len(cells)-1]
+	if !forked.Forked || !strings.HasSuffix(forked.ID(), "|forked") {
+		t.Fatalf("last matrix cell %s is not the forked cell", forked.ID())
+	}
+	fsw := m.SweepSpec(forked)
+	if fsw.ForkDay == 0 || len(fsw.Interventions) != 2 {
+		t.Fatalf("forked cell sweep spec fork_day=%d interventions=%d, want mid-horizon fork with 2 branches",
+			fsw.ForkDay, len(fsw.Interventions))
+	}
+	if err := fsw.Validate(); err != nil {
+		t.Fatalf("forked cell's sweep spec invalid: %v", err)
 	}
 }
 

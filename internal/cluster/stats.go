@@ -220,11 +220,15 @@ func mergeStats(into *client.StatsReply, st client.StatsReply) {
 		}
 		into.KernelDays[k] += n
 	}
+	into.CheckpointRestores += st.CheckpointRestores
+	into.CheckpointBytes += st.CheckpointBytes
 	mergeCache(&into.PopulationCache, st.PopulationCache)
 	mergeCache(&into.PlacementCache, st.PlacementCache)
+	mergeCache(&into.CheckpointCache, st.CheckpointCache)
 	mergeStore(&into.PopulationStore, st.PopulationStore)
 	mergeStore(&into.PlacementStore, st.PlacementStore)
 	mergeStore(&into.ResultStore, st.ResultStore)
+	mergeStore(&into.CheckpointStore, st.CheckpointStore)
 	// Histograms share one bucket layout across the fleet, so per-bucket
 	// counts sum exactly — the merged distribution is what one daemon
 	// would have recorded had it done all the work.

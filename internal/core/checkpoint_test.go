@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/interventions"
+)
+
+func parseScenario(t testing.TB, src string) *interventions.Scenario {
+	t.Helper()
+	if strings.TrimSpace(src) == "" {
+		return nil
+	}
+	sc, err := interventions.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func combineScenario(base, branch string) string {
+	if strings.TrimSpace(base) == "" {
+		return branch
+	}
+	if branch == "" {
+		return base
+	}
+	return strings.TrimRight(base, "\n") + "\n" + branch
+}
+
+// branchSchedule is a typed intervention branch whose every trigger lies
+// strictly after forkDay, as Schedule.Validate enforces.
+func branchSchedule(forkDay int) *interventions.Schedule {
+	return &interventions.Schedule{
+		Closures:     []interventions.Closure{{LocType: "school", Day: forkDay + 1, Days: 5}},
+		Vaccinations: []interventions.Vaccination{{Day: forkDay + 2, Fraction: 0.3}},
+		Quarantines:  []interventions.Quarantine{{State: "symptomatic", Day: forkDay + 1, Days: 7}},
+	}
+}
+
+func resultBytes(t testing.TB, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// forkRun reproduces the sweep executor's fork path: run the base-only
+// prefix to forkDay, checkpoint, restore into a fresh engine carrying the
+// combined base+branch scenario, and finish the run.
+func forkRun(t testing.TB, cfg Config, baseSrc, combinedSrc string, forkDay int) *Result {
+	t.Helper()
+	pcfg := cfg
+	pcfg.Scenario = parseScenario(t, baseSrc)
+	pe, err := New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := pe.RunPrefix(forkDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.Scenario = parseScenario(t, combinedSrc)
+	be, err := New(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	res, err := be.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestForkMatchesScratch is the tentpole equivalence oracle: for every
+// seed model × seed scenario × ranks {1,8}, a run forked from a
+// checkpoint at day {0, mid, last} must be byte-identical (full Result
+// JSON, phase stats included) to the same run executed from scratch.
+func TestForkMatchesScratch(t *testing.T) {
+	pop := testPop(t)
+	models := seedModels(t)
+	scenarios := seedScenarios(t)
+	const days = 12
+
+	for mname, m := range models {
+		for sname, src := range scenarios {
+			for _, ranks := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/%s/r%d", mname, sname, ranks), func(t *testing.T) {
+					for _, forkDay := range []int{0, days / 2, days - 1} {
+						sched := branchSchedule(forkDay)
+						if err := sched.Validate(forkDay); err != nil {
+							t.Fatal(err)
+						}
+						combined := combineScenario(src, sched.Compile())
+						cfg := Config{Population: pop, Disease: m,
+							Days: days, Seed: 17, InitialInfections: 5, Ranks: ranks}
+
+						scfg := cfg
+						scfg.Scenario = parseScenario(t, combined)
+						want := resultBytes(t, run(t, scfg))
+						got := resultBytes(t, forkRun(t, cfg, src, combined, forkDay))
+						if !bytes.Equal(got, want) {
+							t.Fatalf("fork day %d diverged from scratch\nfork:    %s\nscratch: %s",
+								forkDay, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestForkMatchesScratchKernels re-runs the oracle under each explicit
+// kernel. The event kernel is the hard case: its hazard accumulation
+// walks the sparse infectious sets in insertion order, so this is what
+// the checkpoint's order-verbatim serialization exists for.
+func TestForkMatchesScratchKernels(t *testing.T) {
+	pop := testPop(t)
+	const days, forkDay = 20, 10
+	sched := branchSchedule(forkDay)
+	combined := combineScenario("", sched.Compile())
+	for _, kernel := range []string{KernelDense, KernelAuto, KernelEvent} {
+		cfg := Config{Population: pop, Disease: hotModel(),
+			Days: days, Seed: 23, InitialInfections: 5, Ranks: 3,
+			Kernel: kernel, KernelThreshold: 0.01}
+		scfg := cfg
+		scfg.Scenario = parseScenario(t, combined)
+		want := resultBytes(t, run(t, scfg))
+		got := resultBytes(t, forkRun(t, cfg, "", combined, forkDay))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kernel %q: fork diverged from scratch\nfork:    %s\nscratch: %s",
+				kernel, got, want)
+		}
+	}
+}
+
+// TestRunPrefixThenRun pins the prefix engine's own continuation: after
+// RunPrefix the same engine's Run must finish the remaining days and
+// return the uninterrupted run's exact Result (this is the path the
+// sweep executor uses for the baseline branch).
+func TestRunPrefixThenRun(t *testing.T) {
+	pop := testPop(t)
+	src := mustRead(t, "../../scenarios/school-closure.txt")
+	mk := func() Config {
+		return Config{Population: pop, Disease: hotModel(), Scenario: parseScenario(t, src),
+			Days: 14, Seed: 3, InitialInfections: 5, Ranks: 4}
+	}
+	want := resultBytes(t, run(t, mk()))
+
+	e, err := New(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunPrefix(7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatalf("prefix+continue diverged from scratch\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func checkpointFixture(t testing.TB, cfg Config, day int) *Checkpoint {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := e.RunPrefix(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestRestoreRejectsCorrupt feeds Restore checkpoints that are
+// internally inconsistent or mismatched with the engine; each must be
+// refused before any restored run can silently diverge.
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	pop := testPop(t)
+	base := func() Config {
+		return Config{Population: pop, Disease: hotModel(),
+			Days: 10, Seed: 7, InitialInfections: 5, Ranks: 4}
+	}
+	cases := []struct {
+		name   string
+		cfg    func() Config
+		tamper func(cp *Checkpoint)
+	}{
+		{"truncated persons", base, func(cp *Checkpoint) { cp.States = cp.States[:10] }},
+		{"unknown state", base, func(cp *Checkpoint) { cp.States[0] = 99 }},
+		{"unknown treatment", base, func(cp *Checkpoint) { cp.Treatments[0] = 99 }},
+		{"day beyond horizon", base, func(cp *Checkpoint) { cp.Day = 11 }},
+		{"negative day", base, func(cp *Checkpoint) { cp.Day = -1 }},
+		{"report count mismatch", base, func(cp *Checkpoint) { cp.Days = cp.Days[:2] }},
+		{"excess rule latches", base, func(cp *Checkpoint) { cp.RuleFired = []bool{true, false} }},
+		{"nil effects", base, func(cp *Checkpoint) { cp.Effects = nil }},
+		{"foreign person in set", base, func(cp *Checkpoint) {
+			// Person 0 belongs to PM 0's rank; claiming it in the last PM's
+			// infectious set must trip the membership check.
+			pm := len(cp.Infectious) - 1
+			cp.Infectious[pm] = append(cp.Infectious[pm], 0)
+		}},
+		{"duplicate in set", base, func(cp *Checkpoint) {
+			for pm := range cp.Progressing {
+				if len(cp.Progressing[pm]) > 0 {
+					cp.Progressing[pm] = append(cp.Progressing[pm], cp.Progressing[pm][0])
+					return
+				}
+			}
+			panic("no progressing persons in fixture")
+		}},
+		{"manager count mismatch", func() Config {
+			cfg := base()
+			cfg.Ranks = 2
+			return cfg
+		}, func(cp *Checkpoint) {}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := checkpointFixture(t, base(), 5)
+			tc.tamper(cp)
+			e, err := New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Restore(cp); err == nil {
+				t.Fatal("corrupt checkpoint accepted")
+			}
+		})
+	}
+}
+
+// TestCheckpointNeedsFreshEngine pins the seam's misuse guards: neither
+// RunPrefix nor Restore may run on an engine that already simulated days,
+// and a prefix cannot overrun the configured horizon.
+func TestCheckpointNeedsFreshEngine(t *testing.T) {
+	pop := testPop(t)
+	cfg := Config{Population: pop, Disease: hotModel(),
+		Days: 6, Seed: 1, InitialInfections: 5, Ranks: 2}
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunDay(1)
+	if _, err := e.RunPrefix(2); err == nil {
+		t.Fatal("RunPrefix accepted a stepped engine")
+	}
+	if err := e.Restore(checkpointFixture(t, cfg, 0)); err == nil {
+		t.Fatal("Restore accepted a stepped engine")
+	}
+
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunPrefix(7); err == nil {
+		t.Fatal("RunPrefix accepted a prefix beyond cfg.Days")
+	}
+	if _, err := e2.RunPrefix(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunPrefix(3); err == nil {
+		t.Fatal("RunPrefix accepted a second prefix")
+	}
+}

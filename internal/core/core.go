@@ -211,6 +211,14 @@ type Engine struct {
 	// Gillespie path is engaged.
 	eventOn bool
 
+	// Fork-point resumption (see checkpoint.go): a restored or prefixed
+	// engine starts Run at startDay+1 and prepends the prefix's reports.
+	// stepped guards RunPrefix/Restore against engines that already
+	// simulated days through RunDay.
+	startDay int
+	prefix   []DayReport
+	stepped  bool
+
 	// Active-set scratch, allocated lazily on the first non-dense day.
 	// visitsAtLoc is the inverted static schedule: visit indices into
 	// pop.Visits grouped by location.
@@ -598,12 +606,19 @@ func (e *Engine) progressPerson(p int32, day int) {
 // balancing loops; most callers use Run.
 func (e *Engine) RunDay(day int) DayReport { return e.runDay(day) }
 
-// Run executes the configured number of days.
+// Run executes the configured number of days. On an engine positioned at
+// a checkpoint boundary (Restore or RunPrefix), it executes only the
+// remaining days and prepends the prefix's reports, so the Result is the
+// same either way.
 func (e *Engine) Run() (*Result, error) {
 	res := &Result{}
-	for day := 1; day <= e.cfg.Days; day++ {
-		rep := e.runDay(day)
-		res.Days = append(res.Days, rep)
+	if len(e.prefix) > 0 {
+		res.Days = append(res.Days, e.prefix...)
+	}
+	for day := e.startDay + 1; day <= e.cfg.Days; day++ {
+		res.Days = append(res.Days, e.runDay(day))
+	}
+	for _, rep := range res.Days {
 		if rep.Kernel != "" {
 			if res.KernelDays == nil {
 				res.KernelDays = make(map[string]int64)
@@ -623,6 +638,7 @@ func (e *Engine) Run() (*Result, error) {
 
 // runDay dispatches one simulated day to the configured kernel.
 func (e *Engine) runDay(day int) DayReport {
+	e.stepped = true
 	switch e.cfg.Kernel {
 	case KernelAuto:
 		return e.runDayAuto(day)

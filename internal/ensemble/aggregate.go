@@ -38,7 +38,10 @@ type CellResult struct {
 	Placement  string `json:"placement"`
 	Model      string `json:"model"`
 	Scenario   string `json:"scenario"`
-	Replicates int    `json:"replicates"`
+	// Intervention is the cell's intervention-axis branch name; empty (and
+	// omitted) on legacy grids, so version 1 results keep their bytes.
+	Intervention string `json:"intervention,omitempty"`
+	Replicates   int    `json:"replicates"`
 	Days       int    `json:"days"`
 	// Error is set (and the aggregates below left empty) when the cell
 	// failed: any replicate's population build, placement build or
@@ -141,14 +144,15 @@ func (a *aggregator) finalize(cell Cell, qs []float64, confidence float64) CellR
 		}
 	}
 	return CellResult{
-		Index:      cell.Index,
-		Label:      cell.Label(),
-		Population: cell.Population.Label(),
-		Placement:  cell.Placement.Label(),
-		Model:      cell.Model.Name,
-		Scenario:   cell.Scenario.Name,
-		Replicates: len(a.curves),
-		Days:       days,
+		Index:        cell.Index,
+		Label:        cell.Label(),
+		Population:   cell.Population.Label(),
+		Placement:    cell.Placement.Label(),
+		Model:        cell.Model.Name,
+		Scenario:     cell.Scenario.Name,
+		Intervention: cell.InterventionName(),
+		Replicates:   len(a.curves),
+		Days:         days,
 
 		AttackRate:      distOf(a.attack, qs, confidence),
 		PeakDay:         distOf(a.peakDay, qs, confidence),

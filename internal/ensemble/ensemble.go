@@ -41,6 +41,24 @@ type Hooks struct {
 	BuildPlacement func(*synthpop.Population, PlacementSpec, uint64) (any, error)
 	// Simulate runs one replicate on a cached placement.
 	Simulate func(placement any, job Job) (*core.Result, error)
+
+	// The fork-mode trio, used for cells with an intervention branch when
+	// all three are present (otherwise such cells run Simulate from
+	// scratch, which is always correct, just slower). BuildCheckpoint
+	// simulates the replicate's shared pre-fork prefix under the base
+	// scenario and returns an opaque checkpoint handle; the handle is
+	// cached under Cell.CheckpointKey and shared read-only by every
+	// intervention branch of the (cell, replicate). RestoreCheckpoint
+	// loads it into a fresh engine carrying the branch's combined
+	// scenario; ResumeSimulate finishes the remaining days.
+	BuildCheckpoint   func(placement any, job Job) (any, error)
+	RestoreCheckpoint func(placement any, checkpoint any, job Job) (any, error)
+	ResumeSimulate    func(engine any, job Job) (*core.Result, error)
+}
+
+// forkCapable reports whether fork-mode execution is wired.
+func (h Hooks) forkCapable() bool {
+	return h.BuildCheckpoint != nil && h.RestoreCheckpoint != nil && h.ResumeSimulate != nil
 }
 
 // RunOptions are the service-grade extensions to a sweep run. The zero
@@ -52,6 +70,10 @@ type RunOptions struct {
 	// caches here so placements are shared across requests.
 	PopulationCache *Cache
 	PlacementCache  *Cache
+	// CheckpointCache, when non-nil, replaces the run-private fork-point
+	// checkpoint cache — the server passes a process-lifetime cache here
+	// so a warm re-submission pays zero prefix days.
+	CheckpointCache *Cache
 	// OnCell is invoked the moment a cell finalizes — when its last
 	// replicate lands, or immediately on its first error (Error set,
 	// aggregates empty) — which is what lets a server stream aggregates
@@ -92,8 +114,17 @@ type SweepResult struct {
 	// is serialized.
 	PopulationBuilds map[string]int `json:"-"`
 	PlacementBuilds  map[string]int `json:"-"`
+	// CheckpointBuilds counts fork-point prefix builds per checkpoint key
+	// (0 = restored from a shared or disk-backed cache). Execution
+	// accounting like the build maps — never serialized.
+	CheckpointBuilds map[string]int `json:"-"`
 	// Simulations is the total number of replicate runs executed.
 	Simulations int `json:"simulations"`
+	// SimulatedDays counts the days the run actually stepped, summed over
+	// prefix builds and replicate runs — the fork-mode amortization
+	// measure (a 16-branch forked sweep steps far fewer days than 16
+	// from-scratch runs). Execution accounting, never serialized.
+	SimulatedDays int64 `json:"-"`
 	// Timeline is the run's span timeline when RunOptions.Trace was set
 	// (nil otherwise) — handed back with the result so embedders (the
 	// bench harness, the daemon) can roll up component breakdowns from
@@ -194,8 +225,13 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 	if plCache == nil {
 		plCache = newBuildCache()
 	}
+	ckptCache := opts.CheckpointCache
+	if ckptCache == nil {
+		ckptCache = newBuildCache()
+	}
 	popCounts := newRunCounter()
 	plCounts := newRunCounter()
+	ckptCounts := newRunCounter()
 
 	aggs := make([]*aggregator, len(cells))
 	for i := range aggs {
@@ -245,8 +281,9 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 	}
 	results := make([]CellResult, len(cells))
 	var (
-		stMu sync.Mutex
-		sims atomic.Int64
+		stMu    sync.Mutex
+		sims    atomic.Int64
+		simDays atomic.Int64
 	)
 
 	emit := func(res CellResult) {
@@ -365,25 +402,69 @@ func RunContext(ctx context.Context, spec *Spec, hooks Hooks, opts *RunOptions) 
 			repriceGen.Add(1)
 		}
 
-		sims.Add(1)
-		simStart := time.Now()
-		res, err := hooks.Simulate(pl, Job{
+		jobVal := Job{
 			Cell:      cell,
 			Replicate: j.replicate,
 			Seed:      cell.ReplicateSeed(spec.Seed, j.replicate),
 			Model:     models[cell.modelIdx],
 			Spec:      spec,
-		})
-		simLabel := fmt.Sprintf("%s r%d", cell.Label(), j.replicate)
-		if res != nil && len(res.KernelDays) > 0 {
-			// The timeline's span budget forbids a span per simulated day, so
-			// the replicate span carries the per-kernel day tally instead
-			// (e.g. "... kernel[active=38 dense=2]").
-			simLabel += " kernel[" + kernelDaysLabel(res.KernelDays) + "]"
 		}
-		opts.Trace.Add("sim", simLabel, simStart, time.Now())
-		if err != nil {
-			return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
+
+		var res *core.Result
+		var simStart time.Time
+		if cell.Intervention != nil && hooks.forkCapable() {
+			// Fork path: build (or load) the replicate's shared pre-fork
+			// checkpoint once, then resume each intervention branch from it.
+			ckKey := cell.CheckpointKey(spec, plKey, jobVal.Seed)
+			if err := priorFail(ckKey); err != nil {
+				return fmt.Errorf("ensemble: checkpoint %s r%d: %w", cell.Label(), j.replicate, err)
+			}
+			ckStart := time.Now()
+			ck, built, err := ckptCache.get(ctx, ckKey, func() (any, error) {
+				return hooks.BuildCheckpoint(pl, jobVal)
+			})
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				memoFail(ckKey, err)
+				return fmt.Errorf("ensemble: checkpoint %s r%d: %w", cell.Label(), j.replicate, err)
+			}
+			ckLabel := fmt.Sprintf("%s r%d day %d", cell.Label(), j.replicate, spec.ForkDay)
+			recordCacheSpan(opts.Trace, "checkpoint", ckLabel, ckStart, built)
+			ckptCounts.record(ckKey, built)
+			if built {
+				simDays.Add(int64(spec.ForkDay))
+			}
+
+			restoreStart := time.Now()
+			eng, err := hooks.RestoreCheckpoint(pl, ck, jobVal)
+			opts.Trace.Add("checkpoint_restore", ckLabel, restoreStart, time.Now())
+			if err != nil {
+				return fmt.Errorf("ensemble: restore %s r%d: %w", cell.Label(), j.replicate, err)
+			}
+			sims.Add(1)
+			simStart = time.Now()
+			res, err = hooks.ResumeSimulate(eng, jobVal)
+			if err == nil {
+				simDays.Add(int64(spec.Days - spec.ForkDay))
+			}
+			traceSim(opts, cell, j.replicate, res, simStart)
+			if err != nil {
+				return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
+			}
+		} else {
+			sims.Add(1)
+			simStart = time.Now()
+			var err error
+			res, err = hooks.Simulate(pl, jobVal)
+			if res != nil {
+				simDays.Add(int64(len(res.Days)))
+			}
+			traceSim(opts, cell, j.replicate, res, simStart)
+			if err != nil {
+				return fmt.Errorf("ensemble: cell %s replicate %d: %w", cell.Label(), j.replicate, err)
+			}
 		}
 		aggs[j.cellIdx].add(j.replicate, res)
 		completeReplicate(j.cellIdx)
@@ -472,7 +553,9 @@ feed:
 		Cells:            results,
 		PopulationBuilds: popCounts.snapshot(),
 		PlacementBuilds:  plCounts.snapshot(),
+		CheckpointBuilds: ckptCounts.snapshot(),
 		Simulations:      int(sims.Load()),
+		SimulatedDays:    simDays.Load(),
 		Timeline:         opts.Trace,
 	}
 	var failed []int
@@ -486,6 +569,18 @@ feed:
 			len(failed), len(cells), states[failed[0]].err)
 	}
 	return out, nil
+}
+
+// traceSim records one replicate's simulation span, tagging the label
+// with the per-kernel day tally when the run reported one (the timeline's
+// span budget forbids a span per simulated day, so the replicate span
+// carries the tally instead, e.g. "... kernel[active=38 dense=2]").
+func traceSim(opts *RunOptions, cell Cell, replicate int, res *core.Result, start time.Time) {
+	label := fmt.Sprintf("%s r%d", cell.Label(), replicate)
+	if res != nil && len(res.KernelDays) > 0 {
+		label += " kernel[" + kernelDaysLabel(res.KernelDays) + "]"
+	}
+	opts.Trace.Add("sim", label, start, time.Now())
 }
 
 // recordCacheSpan traces one build-cache access. Every actual build gets
@@ -508,13 +603,14 @@ func recordCacheSpan(tl *obs.Timeline, kind, label string, start time.Time, buil
 // and Error set, aggregates empty.
 func errorCellResult(cell Cell, err error) CellResult {
 	return CellResult{
-		Index:      cell.Index,
-		Label:      cell.Label(),
-		Population: cell.Population.Label(),
-		Placement:  cell.Placement.Label(),
-		Model:      cell.Model.Name,
-		Scenario:   cell.Scenario.Name,
-		Error:      err.Error(),
+		Index:        cell.Index,
+		Label:        cell.Label(),
+		Population:   cell.Population.Label(),
+		Placement:    cell.Placement.Label(),
+		Model:        cell.Model.Name,
+		Scenario:     cell.Scenario.Name,
+		Intervention: cell.InterventionName(),
+		Error:        err.Error(),
 	}
 }
 

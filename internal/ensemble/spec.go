@@ -132,9 +132,19 @@ type ScenarioSpec struct {
 	Text string `json:"text,omitempty"`
 }
 
+// InterventionSpec is one branch of the sweep's intervention axis: a
+// named, typed schedule of closures, vaccinations and quarantines. The
+// schedule compiles onto the cell's scenario text, so a branch runs
+// through exactly the engine path a hand-written scenario does; an empty
+// schedule is the do-nothing counterfactual baseline.
+type InterventionSpec struct {
+	Name string `json:"name,omitempty"`
+	interventions.Schedule
+}
+
 // Spec is a declarative scenario sweep: the cross product of
-// Populations × Placements × Models × Scenarios, with Replicates seeded
-// replicates per cell.
+// Populations × Placements × Models × Scenarios × Interventions, with
+// Replicates seeded replicates per cell.
 type Spec struct {
 	Populations []PopulationSpec `json:"populations"`
 	Placements  []PlacementSpec  `json:"placements"`
@@ -142,6 +152,16 @@ type Spec struct {
 	Models []ModelSpec `json:"models,omitempty"`
 	// Scenarios defaults to the single unmitigated baseline when empty.
 	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
+	// Interventions, when present, adds a first-class intervention axis:
+	// each entry forks one branch per (population, placement, model,
+	// scenario) cell. Every branch trigger must lie strictly after
+	// ForkDay, so all branches of a cell share the identical pre-fork
+	// prefix and the executor can simulate it once (version 2 specs; an
+	// absent axis is the legacy version 1 grid, byte-identical as before).
+	Interventions []InterventionSpec `json:"interventions,omitempty"`
+	// ForkDay is the day boundary the intervention branches fork from
+	// (0 = fork at the initial state). Requires an explicit Days.
+	ForkDay int `json:"fork_day,omitempty"`
 
 	Replicates        int    `json:"replicates"`
 	Days              int    `json:"days"`
@@ -176,8 +196,20 @@ func (s *Spec) clone() *Spec {
 	c.Placements = append([]PlacementSpec(nil), s.Placements...)
 	c.Models = append([]ModelSpec(nil), s.Models...)
 	c.Scenarios = append([]ScenarioSpec(nil), s.Scenarios...)
+	c.Interventions = append([]InterventionSpec(nil), s.Interventions...)
 	c.Quantiles = append([]float64(nil), s.Quantiles...)
 	return &c
+}
+
+// Version reports the spec's wire version: 1 for the legacy grid, 2 when
+// the intervention axis is in use. One decode path accepts both; the
+// version is surfaced in submit/status replies so clients can tell which
+// semantics a stored sweep ran under.
+func (s *Spec) Version() int {
+	if len(s.Interventions) > 0 || s.ForkDay > 0 {
+		return 2
+	}
+	return 1
 }
 
 // Normalize fills defaulted fields in place.
@@ -199,6 +231,13 @@ func (s *Spec) Normalize() {
 	}
 	if s.Confidence <= 0 || s.Confidence >= 1 {
 		s.Confidence = 0.95
+	}
+	// Only name interventions when the axis is present: a legacy spec must
+	// normalize to exactly its historical form, byte for byte.
+	for i := range s.Interventions {
+		if s.Interventions[i].Name == "" {
+			s.Interventions[i].Name = fmt.Sprintf("iv%d", i)
+		}
 	}
 }
 
@@ -259,6 +298,31 @@ func (s *Spec) Validate() error {
 	if s.KernelThreshold < 0 || s.KernelThreshold > 1 {
 		return fmt.Errorf("ensemble: kernel threshold %v outside [0,1]", s.KernelThreshold)
 	}
+	if s.ForkDay < 0 {
+		return fmt.Errorf("ensemble: fork day %d is negative", s.ForkDay)
+	}
+	if s.ForkDay > 0 && len(s.Interventions) == 0 {
+		return fmt.Errorf("ensemble: fork day %d without an intervention axis", s.ForkDay)
+	}
+	if len(s.Interventions) > 0 {
+		if s.Days <= 0 {
+			return fmt.Errorf("ensemble: the intervention axis requires an explicit days")
+		}
+		if s.ForkDay >= s.Days {
+			return fmt.Errorf("ensemble: fork day %d must lie before the %d-day horizon", s.ForkDay, s.Days)
+		}
+		seen := map[string]bool{}
+		for i := range s.Interventions {
+			iv := &s.Interventions[i]
+			if seen[iv.Name] {
+				return fmt.Errorf("ensemble: duplicate intervention name %q", iv.Name)
+			}
+			seen[iv.Name] = true
+			if err := iv.Schedule.Validate(s.ForkDay); err != nil {
+				return fmt.Errorf("ensemble: intervention %q: %w", iv.Name, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -269,6 +333,9 @@ type Cell struct {
 	Placement  PlacementSpec
 	Model      ModelSpec
 	Scenario   ScenarioSpec
+	// Intervention is the cell's branch of the intervention axis; nil on
+	// legacy (version 1) grids.
+	Intervention *InterventionSpec
 
 	// modelIdx is the Model's position in Spec.Models, set by Cells; the
 	// executor uses it to share one resolved model per spec entry.
@@ -277,8 +344,36 @@ type Cell struct {
 
 // Label is the cell's human-readable coordinates.
 func (c Cell) Label() string {
-	return fmt.Sprintf("%s %s %s %s",
+	l := fmt.Sprintf("%s %s %s %s",
 		c.Population.Label(), c.Placement.Label(), c.Model.Name, c.Scenario.Name)
+	if c.Intervention != nil {
+		l += " " + c.Intervention.Name
+	}
+	return l
+}
+
+// InterventionName is the cell's intervention-axis coordinate ("" on
+// legacy grids).
+func (c Cell) InterventionName() string {
+	if c.Intervention == nil {
+		return ""
+	}
+	return c.Intervention.Name
+}
+
+// CheckpointKey is the content key of the fork-point checkpoint a
+// cell's replicate resumes from. Everything the prefix trajectory
+// depends on participates — the placement key (which covers the
+// population), the model, the base scenario text, the replicate seed and
+// every forwarded engine knob — but NOT the intervention branch (all
+// branches share the prefix; that is the point) and NOT the horizon
+// Days, so a later sweep with a longer horizon reuses the same
+// checkpoint.
+func (c Cell) CheckpointKey(spec *Spec, plKey string, seed uint64) string {
+	return fmt.Sprintf("%s | model=%s/%x tx=%g scenario=%x seed=%d init=%d mix=%g agg=%d kernel=%s/%g fork=%d",
+		plKey, c.Model.Name, hashString(c.Model.Text), c.Model.Transmissibility,
+		hashString(c.Scenario.Text), seed, spec.InitialInfections, spec.Mixing,
+		spec.AggBufferSize, spec.Kernel, spec.KernelThreshold, spec.ForkDay)
 }
 
 // ReplicateSeed derives the simulation seed of one replicate. It is
@@ -306,21 +401,35 @@ func (c Cell) ReplicateSeed(master uint64, replicate int) uint64 {
 
 // Cells enumerates the grid in deterministic order: populations outermost
 // (so cache-cold population builds cluster), then placements, models,
-// scenarios.
+// scenarios, intervention branches innermost (so the branches sharing a
+// fork-point checkpoint cluster too).
 func (s *Spec) Cells() []Cell {
 	var cells []Cell
 	for _, pop := range s.Populations {
 		for _, pl := range s.Placements {
 			for mi, m := range s.Models {
 				for _, sc := range s.Scenarios {
-					cells = append(cells, Cell{
-						Index:      len(cells),
-						Population: pop,
-						Placement:  pl,
-						Model:      m,
-						Scenario:   sc,
-						modelIdx:   mi,
-					})
+					for ii := range s.Interventions {
+						cells = append(cells, Cell{
+							Index:        len(cells),
+							Population:   pop,
+							Placement:    pl,
+							Model:        m,
+							Scenario:     sc,
+							Intervention: &s.Interventions[ii],
+							modelIdx:     mi,
+						})
+					}
+					if len(s.Interventions) == 0 {
+						cells = append(cells, Cell{
+							Index:      len(cells),
+							Population: pop,
+							Placement:  pl,
+							Model:      m,
+							Scenario:   sc,
+							modelIdx:   mi,
+						})
+					}
 				}
 			}
 		}

@@ -44,6 +44,13 @@ type Config struct {
 	// disk records: result artifacts not read within the TTL are removed
 	// by the background GC pass.
 	ResultTTL time.Duration
+	// CheckpointTTL expires on-disk fork-point checkpoints not read
+	// within this age (0 = never). Checkpoints are the largest artifacts
+	// the cache dir holds and are only worth keeping while their sweep
+	// spec is iterated on, so they get their own horizon instead of
+	// competing with hot placements under StoreMaxBytes. Requires
+	// CacheDir.
+	CheckpointTTL time.Duration
 	// Name identifies this instance (reported by /healthz; a gateway
 	// fronting several instances shows it). Empty = anonymous.
 	Name string
@@ -123,9 +130,11 @@ type Server struct {
 	slo sloPlane
 
 	// Disk GC: a background loop prunes the placement store to
-	// storeMaxBytes (LRU) and expires result records past resultTTL.
+	// storeMaxBytes (LRU) and expires result records past resultTTL and
+	// checkpoints past ckptTTL.
 	storeMaxBytes int64
 	resultTTL     time.Duration
+	ckptTTL       time.Duration
 	gcStop        chan struct{}
 	gcDone        chan struct{}
 }
@@ -173,6 +182,7 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 		log:           log,
 		storeMaxBytes: cfg.StoreMaxBytes,
 		resultTTL:     cfg.ResultTTL,
+		ckptTTL:       cfg.CheckpointTTL,
 
 		submitHist:    obs.NewHistogram("episimd_submit_seconds", "Submission handling latency (parse + enqueue).", nil),
 		queueWaitHist: obs.NewHistogram("episimd_queue_wait_seconds", "Time sweeps spent queued before execution started.", nil),
@@ -204,7 +214,7 @@ func newWithRunner(cfg Config, run sweepRunner) (*Server, error) {
 	})
 	srv.slo.history.OnAppend(srv.onHistoryPoint)
 	srv.slo.history.Start()
-	if cfg.CacheDir != "" && (cfg.StoreMaxBytes > 0 || cfg.ResultTTL > 0) {
+	if cfg.CacheDir != "" && (cfg.StoreMaxBytes > 0 || cfg.ResultTTL > 0 || cfg.CheckpointTTL > 0) {
 		interval := cfg.GCInterval
 		if interval <= 0 {
 			interval = time.Minute
@@ -260,6 +270,13 @@ func (s *Server) runGC() {
 			s.log.Error("result GC failed", "err", err)
 		} else if files > 0 {
 			s.log.Info("result GC expired records", "files", files, "bytes", bytes)
+		}
+	}
+	if s.ckptTTL > 0 {
+		if files, bytes, err := s.cache.ExpireCheckpoints(s.ckptTTL); err != nil {
+			s.log.Error("checkpoint GC failed", "err", err)
+		} else if files > 0 {
+			s.log.Info("checkpoint GC expired artifacts", "files", files, "bytes", bytes)
 		}
 	}
 }
@@ -436,6 +453,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Cells:       j.cells,
 		Simulations: j.cells * spec.Replicates,
 		TraceID:     traceID,
+		SpecVersion: spec.Version(),
 	})
 }
 
@@ -641,10 +659,17 @@ func (s *Server) stats() client.StatsReply {
 		KernelDays:      s.sched.kernelDaysSnapshot(),
 		PopulationCache: s.cache.PopulationStats(),
 		PlacementCache:  s.cache.PlacementStats(),
+		CheckpointCache: s.cache.CheckpointStats(),
+
+		CheckpointRestores: s.cache.CheckpointRestores(),
+		CheckpointBytes:    s.cache.CheckpointBytes(),
 	}
 	if pop, pl, ok := s.cache.StoreStats(); ok {
 		reply.PopulationStore = &pop
 		reply.PlacementStore = &pl
+	}
+	if ck, ok := s.cache.CheckpointStoreStats(); ok {
+		reply.CheckpointStore = &ck
 	}
 	if s.store.results != nil {
 		st := s.store.results.Stats()
@@ -737,14 +762,24 @@ func WriteMetrics(w io.Writer, st client.StatsReply) {
 	}
 	metrics = append(metrics, cacheMetrics("episimd_population_cache", st.PopulationCache)...)
 	metrics = append(metrics, cacheMetrics("episimd_placement_cache", st.PlacementCache)...)
+	metrics = append(metrics, cacheMetrics("episimd_checkpoint_cache", st.CheckpointCache)...)
 	metrics = append(metrics, storeMetrics("episimd_population_store", "population", st.PopulationStore)...)
 	metrics = append(metrics, storeMetrics("episimd_placement_store", "placement", st.PlacementStore)...)
 	metrics = append(metrics, storeMetrics("episimd_result_store", "result", st.ResultStore)...)
+	metrics = append(metrics, storeMetrics("episimd_checkpoint_store", "checkpoint", st.CheckpointStore)...)
 	metrics = append(metrics,
 		promMetric{"episimd_placement_store_gc_files_total", "counter", "Placement artifacts pruned by the LRU disk GC.", storeGCFiles(st.PlacementStore)},
 		promMetric{"episimd_placement_store_gc_bytes_total", "counter", "Bytes reclaimed from the placement store by GC.", storeGCBytes(st.PlacementStore)},
 		promMetric{"episimd_result_store_gc_files_total", "counter", "Result records expired by the TTL disk GC.", storeGCFiles(st.ResultStore)},
 		promMetric{"episimd_result_store_gc_bytes_total", "counter", "Bytes reclaimed from the result store by GC.", storeGCBytes(st.ResultStore)},
+		promMetric{"episimd_checkpoint_store_gc_files_total", "counter", "Checkpoint artifacts expired by the TTL disk GC.", storeGCFiles(st.CheckpointStore)},
+		promMetric{"episimd_checkpoint_store_gc_bytes_total", "counter", "Bytes reclaimed from the checkpoint store by GC.", storeGCBytes(st.CheckpointStore)},
+		// The fork-economics trio: prefix builds no cache tier absorbed,
+		// branch resumes served from a checkpoint, and the estimated
+		// in-memory bytes of every checkpoint built.
+		promMetric{"episimd_checkpoint_builds_total", "counter", "Fork-point checkpoint prefix executions (no cache tier absorbed them).", float64(st.CheckpointCache.Builds)},
+		promMetric{"episimd_checkpoint_restores_total", "counter", "Intervention branches resumed from a checkpoint instead of day 0.", float64(st.CheckpointRestores)},
+		promMetric{"episimd_checkpoint_bytes_total", "counter", "Estimated in-memory bytes of checkpoints built by this daemon.", float64(st.CheckpointBytes)},
 	)
 	for _, m := range metrics {
 		writePromMetric(w, m)

@@ -37,9 +37,12 @@ type job struct {
 
 	// spec is nil for jobs rehydrated from disk after a restart or
 	// eviction (only their status and result survive; they are terminal,
-	// so nothing needs the spec anymore).
-	spec       *episim.SweepSpec
-	replicates int
+	// so nothing needs the spec anymore). specVersion outlives the spec:
+	// it rides the persisted status, so rehydrated jobs still report
+	// what schema they were submitted as.
+	spec        *episim.SweepSpec
+	specVersion int
+	replicates  int
 
 	state     client.JobState
 	errMsg    string
@@ -230,10 +233,11 @@ func (s *store) loadArchived(id string) *job {
 		return nil
 	}
 	j := &job{
-		id:         id,
-		hub:        newHub(),
-		replicates: st.Replicates,
-		state:      st.State,
+		id:          id,
+		hub:         newHub(),
+		specVersion: st.SpecVersion,
+		replicates:  st.Replicates,
+		state:       st.State,
 		errMsg:     st.Error,
 		cells:      st.Cells,
 		cellsDone:  st.CellsDone,
@@ -286,10 +290,11 @@ func (s *store) add(spec *episim.SweepSpec, traceID string, trace *obs.Timeline,
 		s.seq++
 	}
 	j := &job{
-		id:         fmt.Sprintf("sw-%06d", s.seq),
-		spec:       spec,
-		replicates: spec.Replicates,
-		hub:        newHub(),
+		id:          fmt.Sprintf("sw-%06d", s.seq),
+		spec:        spec,
+		specVersion: spec.Version(),
+		replicates:  spec.Replicates,
+		hub:         newHub(),
 		state:      client.StateQueued,
 		cells:      len(spec.Cells()),
 		created:    s.now(),
@@ -329,14 +334,15 @@ func (s *store) status(j *job) client.JobStatus {
 
 func (s *store) statusLocked(j *job) client.JobStatus {
 	st := client.JobStatus{
-		ID:         j.id,
-		State:      j.state,
-		Error:      j.errMsg,
-		Cells:      j.cells,
-		CellsDone:  j.cellsDone,
-		Replicates: j.replicates,
-		Created:    j.created,
-		TraceID:    j.traceID,
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		Cells:       j.cells,
+		CellsDone:   j.cellsDone,
+		Replicates:  j.replicates,
+		Created:     j.created,
+		TraceID:     j.traceID,
+		SpecVersion: j.specVersion,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -491,6 +497,11 @@ func (s *store) finish(j *job, state client.JobState, errMsg string, res *episim
 			}
 		}
 		for _, n := range res.PlacementBuilds {
+			if n == 0 {
+				hits++
+			}
+		}
+		for _, n := range res.CheckpointBuilds {
 			if n == 0 {
 				hits++
 			}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// postRaw submits a raw JSON body to POST /v1/sweeps — bypassing the Go
+// client's marshalling on purpose, so these tests pin the wire bytes a
+// foreign client (curl, another language) would send.
+func postRaw(t *testing.T, baseURL, body string) (int, client.SubmitReply) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack client.SubmitReply
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, ack
+}
+
+// TestSubmitDecodeCompat pins the submission contract across the spec
+// version bump: the exact JSON a pre-intervention client sends must
+// still be accepted (and report spec_version 1), and a version 2 body
+// with an intervention axis must be accepted with the branch-expanded
+// grid (and report spec_version 2). Both bodies are literal strings —
+// if a field rename ever breaks old clients, this test breaks first.
+func TestSubmitDecodeCompat(t *testing.T) {
+	step := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		step <- struct{}{}
+	}
+	_, c := newTestServer(t, Config{Workers: 2, MaxActive: 2}, scriptedRunner(step))
+
+	// Pinned legacy (version 1) body: what existing automation submits
+	// today, verbatim.
+	const legacyBody = `{
+		"populations": [{"name": "p", "people": 100, "locations": 10}],
+		"placements": [{"strategy": "RR", "ranks": 2}],
+		"scenarios": [{"name": "s0"}, {"name": "s1"}],
+		"replicates": 2,
+		"days": 5,
+		"seed": 3
+	}`
+	code, ack := postRaw(t, c.BaseURL, legacyBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("legacy spec refused: HTTP %d", code)
+	}
+	if ack.SpecVersion != 1 {
+		t.Fatalf("legacy spec_version = %d, want 1", ack.SpecVersion)
+	}
+	if ack.Cells != 2 || ack.Simulations != 4 {
+		t.Fatalf("legacy ack = %d cells / %d sims, want 2 / 4", ack.Cells, ack.Simulations)
+	}
+
+	// Pinned version 2 body: an intervention axis forking at day 3. The
+	// grid gains a branch dimension: 2 scenarios × 2 branches = 4 cells.
+	const forkBody = `{
+		"populations": [{"name": "p", "people": 100, "locations": 10}],
+		"placements": [{"strategy": "RR", "ranks": 2}],
+		"scenarios": [{"name": "s0"}, {"name": "s1"}],
+		"interventions": [
+			{"name": "baseline"},
+			{"closures": [{"loc_type": "school", "day": 4, "days": 2}],
+			 "vaccinations": [{"day": 4, "fraction": 0.25}],
+			 "quarantines": [{"state": "symptomatic", "day": 4, "days": 3}]}
+		],
+		"fork_day": 3,
+		"replicates": 2,
+		"days": 5,
+		"seed": 3
+	}`
+	code, ack = postRaw(t, c.BaseURL, forkBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("intervention spec refused: HTTP %d", code)
+	}
+	if ack.SpecVersion != 2 {
+		t.Fatalf("fork spec_version = %d, want 2", ack.SpecVersion)
+	}
+	if ack.Cells != 4 || ack.Simulations != 8 {
+		t.Fatalf("fork ack = %d cells / %d sims, want 4 / 8", ack.Cells, ack.Simulations)
+	}
+
+	// The version rides job status too, and must hold whichever way the
+	// job is looked up later.
+	st, err := c.Status(t.Context(), ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpecVersion != 2 {
+		t.Fatalf("status spec_version = %d, want 2", st.SpecVersion)
+	}
+
+	// A branch firing during the shared prefix cannot be honored — the
+	// prefix is computed once for all branches — so it must be refused
+	// at admission, not silently misexecuted.
+	badBody := strings.Replace(forkBody, `"day": 4, "days": 2`, `"day": 2, "days": 2`, 1)
+	if code, _ := postRaw(t, c.BaseURL, badBody); code != http.StatusBadRequest {
+		t.Fatalf("pre-fork intervention accepted: HTTP %d, want 400", code)
+	}
+}
+
+// TestClientErrorSentinels exercises the typed sentinels end to end
+// against a live server: an unknown id surfaces as ErrNotFound via
+// errors.Is, without string matching.
+func TestClientErrorSentinels(t *testing.T) {
+	step := make(chan struct{}, 1)
+	_, c := newTestServer(t, Config{Workers: 1, MaxActive: 1}, scriptedRunner(step))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.Status(ctx, "sw-999999")
+	if err == nil {
+		t.Fatal("unknown sweep id returned no error")
+	}
+	if !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("unknown-id error %v does not match client.ErrNotFound", err)
+	}
+	if errors.Is(err, client.ErrThrottled) {
+		t.Fatalf("404 error %v wrongly matches client.ErrThrottled", err)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/ensemble"
+	"repro/internal/interventions"
 	"repro/internal/obs"
 	"repro/internal/synthpop"
 )
@@ -39,6 +41,15 @@ type (
 	SweepPlacement  = ensemble.PlacementSpec
 	SweepModel      = ensemble.ModelSpec
 	SweepScenario   = ensemble.ScenarioSpec
+	// SweepIntervention is one branch of the intervention axis: a typed
+	// schedule applied on top of every scenario from Spec.ForkDay on.
+	SweepIntervention = ensemble.InterventionSpec
+	// InterventionSchedule and its entry types describe a typed
+	// intervention branch (compiled to scenario DSL rules at run time).
+	InterventionSchedule    = interventions.Schedule
+	InterventionClosure     = interventions.Closure
+	InterventionVaccination = interventions.Vaccination
+	InterventionQuarantine  = interventions.Quarantine
 	// SweepSlots is a shared worker-slot pool bounding the total
 	// simulation parallelism of every sweep that carries it.
 	SweepSlots = ensemble.Slots
@@ -63,21 +74,28 @@ func ParseSweepSpec(r io.Reader) (*SweepSpec, error) { return ensemble.ParseSpec
 // the cache persistent across processes and restarts. The zero value is
 // not usable; call NewSweepCache or NewSweepCacheDir.
 type SweepCache struct {
-	pop *ensemble.Cache
-	pl  *ensemble.Cache
-	// popStore/plStore back the disk tier (nil for memory-only caches).
-	popStore, plStore *artifact.Store
+	pop  *ensemble.Cache
+	pl   *ensemble.Cache
+	ckpt *ensemble.Cache
+	// popStore/plStore/ckptStore back the disk tier (nil for memory-only
+	// caches).
+	popStore, plStore, ckptStore *artifact.Store
+	// ckptRestores counts branch simulations resumed from a checkpoint;
+	// ckptBytes accumulates the estimated size of checkpoints built.
+	ckptRestores atomic.Int64
+	ckptBytes    atomic.Int64
 }
 
 // NewSweepCache builds a shared cache bounded to roughly maxBytes of
-// retained populations and placements combined (0 = unbounded): the
-// budget is split a quarter to populations, three quarters to
-// placements, which dominate (each charges its population's bytes too —
-// a split population is private to its placement — so the bound is
-// conservative).
+// retained populations, checkpoints and placements combined (0 =
+// unbounded): the budget is split a quarter to populations, a quarter to
+// fork-point checkpoints and half to placements, which dominate (each
+// charges its population's bytes too — a split population is private to
+// its placement — so the bound is conservative).
 func NewSweepCache(maxBytes int64) *SweepCache {
 	popBudget := maxBytes / 4
-	plBudget := maxBytes - popBudget
+	ckptBudget := maxBytes / 4
+	plBudget := maxBytes - popBudget - ckptBudget
 	return &SweepCache{
 		pop: ensemble.NewCache(popBudget, func(v any) int64 {
 			return populationBytes(v.(*synthpop.Population))
@@ -86,7 +104,28 @@ func NewSweepCache(maxBytes int64) *SweepCache {
 			pl := v.(*Placement)
 			return int64(4*(len(pl.PersonRank)+len(pl.LocationRank))) + populationBytes(pl.Pop)
 		}),
+		ckpt: ensemble.NewCache(ckptBudget, func(v any) int64 {
+			return checkpointBytes(v.(*core.Checkpoint))
+		}),
 	}
+}
+
+// checkpointBytes approximates a checkpoint's retained size: the
+// per-person health vectors dominate (~14 bytes each), plus the sparse
+// infectious/progressing sets and the buffered prefix day reports.
+func checkpointBytes(cp *core.Checkpoint) int64 {
+	if cp == nil {
+		return 0
+	}
+	n := int64(14*len(cp.States)) + 1024
+	for _, set := range cp.Infectious {
+		n += int64(4 * len(set))
+	}
+	for _, set := range cp.Progressing {
+		n += int64(4 * len(set))
+	}
+	n += int64(2048 * len(cp.Days))
+	return n
 }
 
 // populationBytes approximates a population's retained size (visits
@@ -101,10 +140,20 @@ func populationBytes(p *synthpop.Population) int64 {
 		int64(len(p.PersonVisitOffsets))*4
 }
 
-// PopulationStats and PlacementStats snapshot the two caches' hit/miss/
-// eviction accounting (the substance of the daemon's /v1/stats reply).
+// PopulationStats, PlacementStats and CheckpointStats snapshot the
+// caches' hit/miss/eviction accounting (the substance of the daemon's
+// /v1/stats reply).
 func (c *SweepCache) PopulationStats() SweepCacheStats { return c.pop.Stats() }
 func (c *SweepCache) PlacementStats() SweepCacheStats  { return c.pl.Stats() }
+func (c *SweepCache) CheckpointStats() SweepCacheStats { return c.ckpt.Stats() }
+
+// CheckpointRestores counts branch simulations that resumed from a
+// fork-point checkpoint instead of simulating the shared prefix.
+func (c *SweepCache) CheckpointRestores() int64 { return c.ckptRestores.Load() }
+
+// CheckpointBytes is the cumulative estimated size of checkpoints built
+// through this cache.
+func (c *SweepCache) CheckpointBytes() int64 { return c.ckptBytes.Load() }
 
 // SweepOptions are the service-grade extensions to RunSweepContext. The
 // zero value (or nil) reproduces RunSweep's one-shot behavior.
@@ -136,7 +185,7 @@ type SweepOptions struct {
 // creating a run-private SweepCache when none is shared — private runs
 // still get a byte-sized cache the cost predictor can peek, so exact
 // re-pricing after the first placement build works everywhere.
-func resolveSweepOptions(opts *SweepOptions) (*ensemble.RunOptions, error) {
+func resolveSweepOptions(opts *SweepOptions) (*ensemble.RunOptions, *SweepCache, error) {
 	if opts == nil {
 		opts = &SweepOptions{}
 	}
@@ -145,17 +194,18 @@ func resolveSweepOptions(opts *SweepOptions) (*ensemble.RunOptions, error) {
 		var err error
 		cache, err = NewSweepCacheDir(0, opts.CacheDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	return &ensemble.RunOptions{
 		PopulationCache: cache.pop,
 		PlacementCache:  cache.pl,
+		CheckpointCache: cache.ckpt,
 		PredictCost:     predictCellCost(cache),
 		OnCell:          opts.OnCell,
 		Slots:           opts.Slots,
 		Trace:           opts.Trace,
-	}, nil
+	}, cache, nil
 }
 
 // RunSweep executes a scenario sweep over the grid the spec declares,
@@ -180,11 +230,11 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 // the partial result alongside the error; failed cells carry Error in
 // place of aggregates.
 func RunSweepContext(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*SweepResult, error) {
-	ro, err := resolveSweepOptions(opts)
+	ro, cache, err := resolveSweepOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return ensemble.RunContext(ctx, spec, sweepHooks(), ro)
+	return ensemble.RunContext(ctx, spec, sweepHooks(cache), ro)
 }
 
 // SweepWarmResult reports what WarmSweep built versus found cached.
@@ -196,11 +246,11 @@ type SweepWarmResult = ensemble.WarmResult
 // store once, and every subsequent run of the spec (any process, any
 // machine sharing the directory) performs zero placement builds.
 func WarmSweep(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*SweepWarmResult, error) {
-	ro, err := resolveSweepOptions(opts)
+	ro, cache, err := resolveSweepOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return ensemble.WarmContext(ctx, spec, sweepHooks(), ro)
+	return ensemble.WarmContext(ctx, spec, sweepHooks(cache), ro)
 }
 
 // predictCellCost prices a sweep cell in modeled Blue Waters seconds for
@@ -212,10 +262,16 @@ func WarmSweep(ctx context.Context, spec *SweepSpec, opts *SweepOptions) (*Sweep
 func predictCellCost(cache *SweepCache) func(ensemble.Cell, *ensemble.Spec) float64 {
 	opt := DefaultPerfOptions()
 	return func(cell ensemble.Cell, spec *ensemble.Spec) float64 {
+		// Intervention cells resume from the shared fork-point
+		// checkpoint, so they only pay for the suffix days.
+		costDays := spec.Days
+		if cell.Intervention != nil && spec.ForkDay > 0 {
+			costDays = spec.Days - spec.ForkDay
+		}
 		popKey := cell.Population.Key(spec.Seed)
 		if cache != nil {
 			if v, ok := cache.pl.Peek(cell.Placement.Key(popKey)); ok {
-				return ModelSweepSeconds(v.(*Placement), spec.Days, opt)
+				return ModelSweepSeconds(v.(*Placement), costDays, opt)
 			}
 		}
 		people := float64(cell.Population.People)
@@ -225,7 +281,7 @@ func predictCellCost(cache *SweepCache) func(ensemble.Cell, *ensemble.Spec) floa
 			}
 		}
 		const visitsPerPersonDay = 5.5 // synthpop calibration target
-		days := float64(spec.Days)
+		days := float64(costDays)
 		if days < 1 {
 			days = 1
 		}
@@ -233,8 +289,48 @@ func predictCellCost(cache *SweepCache) func(ensemble.Cell, *ensemble.Spec) floa
 	}
 }
 
-// sweepHooks wires the real engine into the ensemble executor.
-func sweepHooks() ensemble.Hooks {
+// combinedScenarioText is the scenario a cell's branch actually runs:
+// the base scenario text with the intervention schedule's compiled rules
+// appended (legacy cells — no intervention — run the base text alone).
+// Every compiled rule triggers strictly after Spec.ForkDay, so the
+// combined scenario's prefix behavior is identical to the base
+// scenario's — the foundation of fork-vs-scratch byte identity.
+func combinedScenarioText(job ensemble.Job) string {
+	base := job.Cell.Scenario.Text
+	if job.Cell.Intervention == nil {
+		return base
+	}
+	branch := job.Cell.Intervention.Compile()
+	if branch == "" {
+		return base
+	}
+	if strings.TrimSpace(base) == "" {
+		return branch
+	}
+	return strings.TrimRight(base, "\n") + "\n" + branch
+}
+
+// simConfigFor maps a sweep job onto a SimConfig running the given
+// scenario text.
+func simConfigFor(job ensemble.Job, scenario string) SimConfig {
+	return SimConfig{
+		Days:              job.Spec.Days,
+		Seed:              job.Seed,
+		InitialInfections: job.Spec.InitialInfections,
+		Model:             job.Model,
+		Scenario:          scenario,
+		AggBufferSize:     job.Spec.AggBufferSize,
+		Mixing:            job.Spec.Mixing,
+		Kernel:            job.Spec.Kernel,
+		KernelThreshold:   job.Spec.KernelThreshold,
+	}
+}
+
+// sweepHooks wires the real engine into the ensemble executor. The
+// fork trio (BuildCheckpoint/RestoreCheckpoint/ResumeSimulate) runs
+// intervention cells in fork mode: the shared scenario prefix simulates
+// once per checkpoint key, and every branch resumes from the snapshot.
+func sweepHooks(cache *SweepCache) ensemble.Hooks {
 	return ensemble.Hooks{
 		GeneratePopulation: func(ps ensemble.PopulationSpec, seed uint64) (*synthpop.Population, error) {
 			if ps.State != "" {
@@ -260,17 +356,40 @@ func sweepHooks() ensemble.Hooks {
 			// interventions.Scenario carries mutable rule-fired state, so
 			// concurrent replicates cannot share one instance, and the
 			// parse is microseconds against a multi-ms simulation.
-			return Run(pl.(*Placement), SimConfig{
-				Days:              job.Spec.Days,
-				Seed:              job.Seed,
-				InitialInfections: job.Spec.InitialInfections,
-				Model:             job.Model,
-				Scenario:          job.Cell.Scenario.Text,
-				AggBufferSize:     job.Spec.AggBufferSize,
-				Mixing:            job.Spec.Mixing,
-				Kernel:            job.Spec.Kernel,
-				KernelThreshold:   job.Spec.KernelThreshold,
-			})
+			return Run(pl.(*Placement), simConfigFor(job, combinedScenarioText(job)))
+		},
+		BuildCheckpoint: func(pl any, job ensemble.Job) (any, error) {
+			// The prefix runs the base scenario only: branch rules cannot
+			// fire before the fork day, so the checkpoint is shared by
+			// every branch of the cell's intervention axis.
+			eng, err := newSimEngine(pl.(*Placement), simConfigFor(job, job.Cell.Scenario.Text))
+			if err != nil {
+				return nil, err
+			}
+			cp, err := eng.RunPrefix(job.Spec.ForkDay)
+			if err != nil {
+				return nil, err
+			}
+			if cache != nil {
+				cache.ckptBytes.Add(checkpointBytes(cp))
+			}
+			return cp, nil
+		},
+		RestoreCheckpoint: func(pl any, checkpoint any, job ensemble.Job) (any, error) {
+			eng, err := newSimEngine(pl.(*Placement), simConfigFor(job, combinedScenarioText(job)))
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Restore(checkpoint.(*core.Checkpoint)); err != nil {
+				return nil, err
+			}
+			if cache != nil {
+				cache.ckptRestores.Add(1)
+			}
+			return eng, nil
+		},
+		ResumeSimulate: func(engine any, job ensemble.Job) (*core.Result, error) {
+			return engine.(*core.Engine).Run()
 		},
 	}
 }
